@@ -1,0 +1,256 @@
+//! Diagonal-covariance Gaussian mixture fitted with EM.
+
+use rgae_linalg::{Mat, Rng64};
+
+use crate::{kmeans, Error, Result};
+
+/// A fitted diagonal-covariance Gaussian mixture model.
+///
+/// GMM-VGAE uses a mixture like this as the latent prior; the Ξ operator's
+/// Eq. 15 also evaluates Gaussian responsibilities with a diagonal Σ.
+#[derive(Clone, Debug)]
+pub struct GaussianMixture {
+    /// Mixing weights `π_k` (sum to one).
+    pub weights: Vec<f64>,
+    /// `K×d` component means.
+    pub means: Mat,
+    /// `K×d` component variances (diagonal Σ, floored at `var_floor`).
+    pub variances: Mat,
+    /// Final per-point log-likelihood average.
+    pub avg_log_likelihood: f64,
+}
+
+const VAR_FLOOR: f64 = 1e-6;
+
+impl GaussianMixture {
+    /// Fit by EM, initialised from k-means.
+    pub fn fit(points: &Mat, k: usize, max_iter: usize, rng: &mut Rng64) -> Result<Self> {
+        let n = points.rows();
+        if k == 0 || n < k {
+            return Err(Error::BadClusterCount {
+                points: n,
+                clusters: k,
+            });
+        }
+        let d = points.cols();
+        let km = kmeans(points, k, 50, rng)?;
+        let mut means = km.centroids;
+        let mut variances = Mat::full(k, d, 1.0);
+        // Initial variances from the k-means partition.
+        {
+            let mut counts = vec![0usize; k];
+            let mut acc = Mat::zeros(k, d);
+            for i in 0..n {
+                let c = km.assignments[i];
+                counts[c] += 1;
+                for (a, (&p, &m)) in acc
+                    .row_mut(c)
+                    .iter_mut()
+                    .zip(points.row(i).iter().zip(means.row(c)))
+                {
+                    *a += (p - m) * (p - m);
+                }
+            }
+            for c in 0..k {
+                let inv = 1.0 / counts[c].max(1) as f64;
+                for (v, &a) in variances.row_mut(c).iter_mut().zip(acc.row(c)) {
+                    *v = (a * inv).max(VAR_FLOOR);
+                }
+            }
+        }
+        let mut weights = vec![1.0 / k as f64; k];
+        let mut avg_ll = f64::NEG_INFINITY;
+
+        for _ in 0..max_iter {
+            // E step: responsibilities via log-sum-exp.
+            let mut resp = Mat::zeros(n, k);
+            let mut ll = 0.0;
+            for i in 0..n {
+                let mut logp = vec![0.0; k];
+                for c in 0..k {
+                    logp[c] = weights[c].max(1e-300).ln()
+                        + log_gauss_diag(points.row(i), means.row(c), variances.row(c));
+                }
+                let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for lp in &mut logp {
+                    *lp = (*lp - mx).exp();
+                    sum += *lp;
+                }
+                ll += mx + sum.ln();
+                for c in 0..k {
+                    resp[(i, c)] = logp[c] / sum;
+                }
+            }
+            let new_avg = ll / n as f64;
+            let converged = (new_avg - avg_ll).abs() < 1e-7;
+            avg_ll = new_avg;
+
+            // M step.
+            let nk: Vec<f64> = (0..k).map(|c| resp.col(c).iter().sum()).collect();
+            for c in 0..k {
+                let denom = nk[c].max(1e-12);
+                weights[c] = nk[c] / n as f64;
+                let mut mean = vec![0.0; d];
+                for i in 0..n {
+                    let r = resp[(i, c)];
+                    for (m, &p) in mean.iter_mut().zip(points.row(i)) {
+                        *m += r * p;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= denom;
+                }
+                means.row_mut(c).copy_from_slice(&mean);
+                let mut var = vec![0.0; d];
+                for i in 0..n {
+                    let r = resp[(i, c)];
+                    for (v, (&p, &m)) in var.iter_mut().zip(points.row(i).iter().zip(&mean)) {
+                        *v += r * (p - m) * (p - m);
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / denom).max(VAR_FLOOR);
+                }
+                variances.row_mut(c).copy_from_slice(&var);
+            }
+            if converged {
+                break;
+            }
+        }
+        Ok(GaussianMixture {
+            weights,
+            means,
+            variances,
+            avg_log_likelihood: avg_ll,
+        })
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Posterior responsibilities `p(k | x_i)` → `(n, K)` rows summing to 1.
+    pub fn responsibilities(&self, points: &Mat) -> Mat {
+        let n = points.rows();
+        let k = self.k();
+        let mut out = Mat::zeros(n, k);
+        for i in 0..n {
+            let mut logp = vec![0.0; k];
+            for c in 0..k {
+                logp[c] = self.weights[c].max(1e-300).ln()
+                    + log_gauss_diag(points.row(i), self.means.row(c), self.variances.row(c));
+            }
+            let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for lp in &mut logp {
+                *lp = (*lp - mx).exp();
+                sum += *lp;
+            }
+            for c in 0..k {
+                out[(i, c)] = logp[c] / sum;
+            }
+        }
+        out
+    }
+
+    /// Hard assignments (argmax responsibility).
+    pub fn predict(&self, points: &Mat) -> Vec<usize> {
+        self.responsibilities(points).row_argmax()
+    }
+}
+
+/// Log-density of a diagonal Gaussian.
+fn log_gauss_diag(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let ln2pi = (2.0 * std::f64::consts::PI).ln();
+    let mut acc = 0.0;
+    for ((&xi, &mi), &vi) in x.iter().zip(mean).zip(var) {
+        let v = vi.max(VAR_FLOOR);
+        acc += -0.5 * (ln2pi + v.ln() + (xi - mi) * (xi - mi) / v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(rng: &mut Rng64, sep: f64) -> (Mat, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..2 {
+            for _ in 0..60 {
+                rows.push(vec![
+                    rng.normal_with(k as f64 * sep, 0.4),
+                    rng.normal_with(0.0, 0.4),
+                ]);
+                labels.push(k);
+            }
+        }
+        (Mat::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn fits_two_separated_blobs() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let (x, labels) = blobs(&mut rng, 8.0);
+        let gmm = GaussianMixture::fit(&x, 2, 100, &mut rng).unwrap();
+        let pred = gmm.predict(&x);
+        // Up to label permutation the prediction is perfect.
+        let agree = pred
+            .iter()
+            .zip(&labels)
+            .filter(|(&p, &l)| p == l)
+            .count();
+        let acc = agree.max(pred.len() - agree) as f64 / pred.len() as f64;
+        assert!(acc > 0.98, "acc {acc}");
+    }
+
+    #[test]
+    fn responsibilities_are_distributions() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let (x, _) = blobs(&mut rng, 5.0);
+        let gmm = GaussianMixture::fit(&x, 3, 50, &mut rng).unwrap();
+        let r = gmm.responsibilities(&x);
+        for i in 0..x.rows() {
+            let s: f64 = r.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(r.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let (x, _) = blobs(&mut rng, 6.0);
+        let gmm = GaussianMixture::fit(&x, 2, 50, &mut rng).unwrap();
+        assert!((gmm.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variances_floored_positive() {
+        // Duplicate points would produce zero variance without the floor.
+        let x = Mat::from_rows(&vec![vec![1.0, 1.0]; 10]).unwrap();
+        let mut rng = Rng64::seed_from_u64(4);
+        let gmm = GaussianMixture::fit(&x, 1, 20, &mut rng).unwrap();
+        assert!(gmm.variances.as_slice().iter().all(|&v| v >= VAR_FLOOR));
+    }
+
+    #[test]
+    fn likelihood_improves_with_right_k() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let (x, _) = blobs(&mut rng, 10.0);
+        let g1 = GaussianMixture::fit(&x, 1, 100, &mut rng).unwrap();
+        let g2 = GaussianMixture::fit(&x, 2, 100, &mut rng).unwrap();
+        assert!(g2.avg_log_likelihood > g1.avg_log_likelihood);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let x = Mat::zeros(2, 2);
+        let mut rng = Rng64::seed_from_u64(6);
+        assert!(GaussianMixture::fit(&x, 0, 10, &mut rng).is_err());
+        assert!(GaussianMixture::fit(&x, 5, 10, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Kuhn–Munkres (Hungarian) assignment in O(n³).
+
+use rgae_linalg::Mat;
+
+/// Solve the square assignment problem: pick one column per row so that the
+/// total cost is minimal. Returns `assignment[row] = col`.
+///
+/// Implementation: the classic potentials/augmenting-path formulation (the
+/// "e-maxx" variant), O(n³) and numerically robust for `f64` costs.
+pub fn hungarian(cost: &Mat) -> Vec<usize> {
+    let n = cost.rows();
+    assert_eq!(n, cost.cols(), "hungarian: square cost matrix required");
+    if n == 0 {
+        return Vec::new();
+    }
+    // 1-indexed internals, as in the classic formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1, j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost_of(c: &Mat, a: &[usize]) -> f64 {
+        a.iter().enumerate().map(|(i, &j)| c[(i, j)]).sum()
+    }
+
+    #[test]
+    fn identity_when_diagonal_cheapest() {
+        let c = Mat::from_rows(&[
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ])
+        .unwrap();
+        assert_eq!(hungarian(&c), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // Known optimum: 1→2, 2→1, 3→0 variants; min total = 5.
+        let c = Mat::from_rows(&[
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ])
+        .unwrap();
+        let a = hungarian(&c);
+        assert!((cost_of(&c, &a) - 5.0).abs() < 1e-12, "{a:?}");
+    }
+
+    #[test]
+    fn assignment_is_permutation() {
+        let c = Mat::from_rows(&[
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![3.0, 6.0, 9.0, 12.0],
+            vec![4.0, 8.0, 12.0, 16.0],
+        ])
+        .unwrap();
+        let mut a = hungarian(&c);
+        a.sort_unstable();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_costs_ok() {
+        let c = Mat::from_rows(&[vec![-10.0, 0.0], vec![0.0, -10.0]]).unwrap();
+        let a = hungarian(&c);
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn brute_force_agreement_small_random() {
+        use rgae_linalg::Rng64;
+        let mut rng = Rng64::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = 4;
+            let c = rgae_linalg::uniform(n, n, 0.0, 10.0, &mut rng);
+            let got = cost_of(&c, &hungarian(&c));
+            // Brute force over all 4! permutations.
+            let mut best = f64::INFINITY;
+            let perms = [
+                [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2],
+                [0, 3, 2, 1], [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0],
+                [1, 3, 0, 2], [1, 3, 2, 0], [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3],
+                [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0], [3, 0, 1, 2], [3, 0, 2, 1],
+                [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+            ];
+            for p in &perms {
+                let v: f64 = p.iter().enumerate().map(|(i, &j)| c[(i, j)]).sum();
+                best = best.min(v);
+            }
+            assert!((got - best).abs() < 1e-9, "got {got} best {best}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(hungarian(&Mat::zeros(0, 0)).is_empty());
+    }
+}

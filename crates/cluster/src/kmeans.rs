@@ -1,0 +1,206 @@
+//! k-means with k-means++ seeding.
+
+use rgae_linalg::{Mat, Rng64};
+
+use crate::{Error, Result};
+
+/// Output of [`kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster index per point.
+    pub assignments: Vec<usize>,
+    /// `K×d` matrix of centroids.
+    pub centroids: Mat,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// k-means++ seeding followed by Lloyd iterations until assignment
+/// convergence or `max_iter`.
+///
+/// Empty clusters are re-seeded with the point farthest from its centroid,
+/// so the result always has exactly `k` non-empty clusters when `n ≥ k`.
+pub fn kmeans(points: &Mat, k: usize, max_iter: usize, rng: &mut Rng64) -> Result<KMeansResult> {
+    let n = points.rows();
+    if k == 0 || n < k {
+        return Err(Error::BadClusterCount {
+            points: n,
+            clusters: k,
+        });
+    }
+    let d = points.cols();
+
+    // --- k-means++ seeding ---------------------------------------------
+    let mut centroids = Mat::zeros(k, d);
+    let first = rng.index(n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    let mut min_sq = vec![f64::INFINITY; n];
+    for c in 1..k {
+        for i in 0..n {
+            let dist = points.row_sq_dist(i, centroids.row(c - 1));
+            if dist < min_sq[i] {
+                min_sq[i] = dist;
+            }
+        }
+        let next = rng.categorical(&min_sq);
+        centroids.row_mut(c).copy_from_slice(points.row(next));
+    }
+
+    // --- Lloyd iterations ------------------------------------------------
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = points.row_sq_dist(i, centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update step.
+        let mut counts = vec![0usize; k];
+        let mut sums = Mat::zeros(k, d);
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &p) in sums.row_mut(c).iter_mut().zip(points.row(i)) {
+                *s += p;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed from the point farthest from its centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = points.row_sq_dist(a, centroids.row(assignments[a]));
+                        let db = points.row_sq_dist(b, centroids.row(assignments[b]));
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("n >= 1");
+                centroids.row_mut(c).copy_from_slice(points.row(far));
+                assignments[far] = c;
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                for (ctr, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *ctr = s * inv;
+                }
+            }
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| points.row_sq_dist(i, centroids.row(assignments[i])))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs(rng: &mut Rng64) -> (Mat, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (k, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                rows.push(vec![rng.normal_with(cx, 0.5), rng.normal_with(cy, 0.5)]);
+                labels.push(k);
+            }
+        }
+        (Mat::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let (x, labels) = blobs(&mut rng);
+        let res = kmeans(&x, 3, 100, &mut rng).unwrap();
+        // Every blob must map to one pure cluster.
+        for chunk in 0..3 {
+            let first = res.assignments[chunk * 30];
+            for i in 0..30 {
+                assert_eq!(res.assignments[chunk * 30 + i], first);
+            }
+        }
+        // And different blobs to different clusters.
+        let a = res.assignments[0];
+        let b = res.assignments[30];
+        let c = res.assignments[60];
+        assert!(a != b && b != c && a != c);
+        let _ = labels;
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let (x, _) = blobs(&mut rng);
+        let r1 = kmeans(&x, 1, 50, &mut rng).unwrap();
+        let r3 = kmeans(&x, 3, 50, &mut rng).unwrap();
+        assert!(r3.inertia < r1.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let x = Mat::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 1.0]]).unwrap();
+        let mut rng = Rng64::seed_from_u64(3);
+        let res = kmeans(&x, 3, 50, &mut rng).unwrap();
+        assert!(res.inertia < 1e-12);
+        let mut sorted = res.assignments.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let x = Mat::zeros(2, 2);
+        let mut rng = Rng64::seed_from_u64(4);
+        assert!(kmeans(&x, 0, 10, &mut rng).is_err());
+        assert!(kmeans(&x, 3, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn all_clusters_non_empty() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let (x, _) = blobs(&mut rng);
+        let res = kmeans(&x, 5, 100, &mut rng).unwrap();
+        let mut counts = vec![0usize; 5];
+        for &a in &res.assignments {
+            counts[a] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng1 = Rng64::seed_from_u64(6);
+        let (x, _) = blobs(&mut rng1);
+        let mut ra = Rng64::seed_from_u64(7);
+        let mut rb = Rng64::seed_from_u64(7);
+        let r1 = kmeans(&x, 3, 100, &mut ra).unwrap();
+        let r2 = kmeans(&x, 3, 100, &mut rb).unwrap();
+        assert_eq!(r1.assignments, r2.assignments);
+    }
+}

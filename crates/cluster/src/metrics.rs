@@ -1,0 +1,208 @@
+//! External clustering metrics: ACC (Hungarian-matched accuracy), NMI, ARI.
+
+use rgae_linalg::Mat;
+
+use crate::hungarian;
+
+/// Contingency table: `table[p][t]` counts points predicted `p` with true
+/// label `t`. Both label spaces are padded to a common size.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize]) -> Mat {
+    assert_eq!(pred.len(), truth.len(), "confusion: length mismatch");
+    let kp = pred.iter().copied().max().map_or(0, |m| m + 1);
+    let kt = truth.iter().copied().max().map_or(0, |m| m + 1);
+    let k = kp.max(kt);
+    let mut table = Mat::zeros(k, k);
+    for (&p, &t) in pred.iter().zip(truth) {
+        table[(p, t)] += 1.0;
+    }
+    table
+}
+
+/// Best mapping from predicted cluster ids to true label ids (the paper's
+/// `𝔸_H`): `mapping[pred_cluster] = label`. Computed by Hungarian matching on
+/// the negated contingency table.
+pub fn best_mapping(pred: &[usize], truth: &[usize]) -> Vec<usize> {
+    let table = confusion_matrix(pred, truth);
+    let cost = table.scale(-1.0);
+    hungarian(&cost)
+}
+
+/// Relabel predictions through the optimal mapping, producing the paper's
+/// `y(Q') = 𝔸_H(Q, P)` signal: ground truth expressed in the predicted
+/// clusters' id space — i.e. predictions replaced by their best-matching
+/// label.
+pub fn map_predictions_to_labels(pred: &[usize], truth: &[usize]) -> Vec<usize> {
+    let mapping = best_mapping(pred, truth);
+    pred.iter().map(|&p| mapping[p]).collect()
+}
+
+/// Unsupervised clustering accuracy: fraction correct under the best
+/// cluster→label mapping.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mapped = map_predictions_to_labels(pred, truth);
+    let hits = mapped.iter().zip(truth).filter(|(m, t)| m == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Normalised mutual information with arithmetic-mean normalisation
+/// (`sklearn`'s default): `NMI = 2·I(P; T) / (H(P) + H(T))`.
+pub fn nmi(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "nmi: length mismatch");
+    let n = pred.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let table = confusion_matrix(pred, truth);
+    let k = table.rows();
+    let nf = n as f64;
+    let row: Vec<f64> = table.row_sums();
+    let col: Vec<f64> = table.col_sums();
+    let mut mi = 0.0;
+    for i in 0..k {
+        for j in 0..k {
+            let nij = table[(i, j)];
+            if nij > 0.0 {
+                mi += (nij / nf) * ((nij * nf) / (row[i] * col[j])).ln();
+            }
+        }
+    }
+    let h = |counts: &[f64]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let p = c / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hp = h(&row);
+    let ht = h(&col);
+    if hp + ht <= 0.0 {
+        // Both partitions trivial (single cluster): conventionally 1 when
+        // identical, here both entropies zero ⇒ define as 1.
+        1.0
+    } else {
+        (2.0 * mi / (hp + ht)).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand index.
+pub fn ari(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "ari: length mismatch");
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let table = confusion_matrix(pred, truth);
+    let k = table.rows();
+    let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+    let mut sum_ij = 0.0;
+    for i in 0..k {
+        for j in 0..k {
+            sum_ij += comb2(table[(i, j)]);
+        }
+    }
+    let sum_i: f64 = table.row_sums().iter().map(|&r| comb2(r)).sum();
+    let sum_j: f64 = table.col_sums().iter().map(|&c| comb2(c)).sum();
+    let total = comb2(n as f64);
+    let expected = sum_i * sum_j / total;
+    let max_index = 0.5 * (sum_i + sum_j);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: identical trivial partitions.
+        return if sum_ij == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_up_to_permutation() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [2, 2, 0, 0, 1, 1];
+        assert!((accuracy(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((nmi(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((ari(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_mislabel() {
+        let truth = [0, 0, 0, 1, 1, 1];
+        let pred = [1, 1, 1, 0, 0, 1]; // last point wrong after mapping
+        assert!((accuracy(&pred, &truth) - 5.0 / 6.0).abs() < 1e-12);
+        assert!(nmi(&pred, &truth) < 1.0);
+        assert!(ari(&pred, &truth) < 1.0);
+    }
+
+    #[test]
+    fn random_labels_near_zero_ari() {
+        use rgae_linalg::Rng64;
+        let mut rng = Rng64::seed_from_u64(1);
+        let n = 5000;
+        let truth: Vec<usize> = (0..n).map(|_| rng.index(4)).collect();
+        let pred: Vec<usize> = (0..n).map(|_| rng.index(4)).collect();
+        let a = ari(&pred, &truth);
+        assert!(a.abs() < 0.02, "ari {a}");
+        assert!(nmi(&pred, &truth) < 0.02);
+    }
+
+    #[test]
+    fn accuracy_bounded_below_by_chance() {
+        // Constant prediction on balanced labels → ACC = 1/K.
+        let truth = [0, 1, 2, 0, 1, 2];
+        let pred = [0; 6];
+        assert!((accuracy(&pred, &truth) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_constant_prediction_is_zero() {
+        let truth = [0, 1, 0, 1];
+        let pred = [0, 0, 0, 0];
+        assert_eq!(nmi(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn mapping_translates_pred_space() {
+        let truth = [0, 0, 1, 1];
+        let pred = [1, 1, 0, 0];
+        let mapped = map_predictions_to_labels(&pred, &truth);
+        assert_eq!(mapped, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn metrics_symmetric_in_label_permutation() {
+        let truth = [0, 0, 1, 1, 2, 2, 0, 1];
+        let pred = [0, 1, 1, 1, 2, 2, 0, 0];
+        let permuted: Vec<usize> = pred.iter().map(|&p| (p + 1) % 3).collect();
+        assert!((accuracy(&pred, &truth) - accuracy(&permuted, &truth)).abs() < 1e-12);
+        assert!((nmi(&pred, &truth) - nmi(&permuted, &truth)).abs() < 1e-12);
+        assert!((ari(&pred, &truth) - ari(&permuted, &truth)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_cluster_counts() {
+        // More predicted clusters than true labels.
+        let truth = [0, 0, 0, 1, 1, 1];
+        let pred = [0, 0, 1, 2, 2, 2];
+        let acc = accuracy(&pred, &truth);
+        assert!((acc - 5.0 / 6.0).abs() < 1e-12, "acc {acc}");
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = [0, 1, 1];
+        let pred = [1, 1, 0];
+        let t = confusion_matrix(&pred, &truth);
+        assert_eq!(t[(1, 0)], 1.0);
+        assert_eq!(t[(1, 1)], 1.0);
+        assert_eq!(t[(0, 1)], 1.0);
+        assert_eq!(t[(0, 0)], 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Soft-assignment kernels: the DEC Student-t distribution (the paper's
+//! Eq. 20), its target distribution (Eq. 19's Q), and the Gaussian kernel of
+//! the Ξ operator (Eq. 15).
+
+use rgae_linalg::Mat;
+
+use crate::{Error, Result};
+
+/// Student-t soft assignments (DEC / Eq. 20):
+/// `p_ij = (1 + ‖z_i − μ_j‖²)⁻¹ / Σ_j' (1 + ‖z_i − μ_j'‖²)⁻¹`.
+pub fn student_t_assignments(z: &Mat, centroids: &Mat) -> Result<Mat> {
+    if z.cols() != centroids.cols() {
+        return Err(Error::LengthMismatch("z and centroids dims differ"));
+    }
+    let d = z
+        .pairwise_sq_dists(centroids)
+        .map_err(|_| Error::LengthMismatch("pairwise dims"))?;
+    let mut p = d.map(|v| 1.0 / (1.0 + v));
+    for i in 0..p.rows() {
+        let s: f64 = p.row(i).iter().sum();
+        for e in p.row_mut(i) {
+            *e /= s;
+        }
+    }
+    Ok(p)
+}
+
+/// DEC target distribution: `q_ij = (p_ij² / f_j) / Σ_j' (p_ij'² / f_j')`
+/// with cluster frequency `f_j = Σ_i p_ij`. This is the sharpened
+/// "hard-assignment distribution" the paper's Eq. 19 trains against.
+pub fn dec_target_distribution(p: &Mat) -> Mat {
+    let f = p.col_sums();
+    let mut q = Mat::zeros(p.rows(), p.cols());
+    for i in 0..p.rows() {
+        let mut s = 0.0;
+        for j in 0..p.cols() {
+            let v = p[(i, j)] * p[(i, j)] / f[j].max(1e-12);
+            q[(i, j)] = v;
+            s += v;
+        }
+        for j in 0..p.cols() {
+            q[(i, j)] /= s.max(1e-12);
+        }
+    }
+    q
+}
+
+/// The Ξ operator's Eq. 15: Gaussian soft assignments from hard clusters.
+///
+/// `p'_ij ∝ exp(−½ (z_i − μ_j)ᵀ Σ_j⁻¹ (z_i − μ_j))` with diagonal Σ_j taken
+/// from the per-cluster coordinate variances of the hard partition.
+/// Variances are floored to keep the kernel finite for tight clusters.
+pub fn gaussian_soft_assignments(z: &Mat, assignments: &[usize], k: usize) -> Result<Mat> {
+    gaussian_soft_assignments_tempered(z, assignments, k, 1.0)
+}
+
+/// Eq. 15 with a likelihood temperature: the Mahalanobis exponent is divided
+/// by `temperature`. `temperature = d` (the latent dimension) makes the
+/// confidence scale dimension-independent — the calibration the Ξ operator
+/// needs when latent clusters are much better separated than on the paper's
+/// real datasets (see DESIGN.md).
+pub fn gaussian_soft_assignments_tempered(
+    z: &Mat,
+    assignments: &[usize],
+    k: usize,
+    temperature: f64,
+) -> Result<Mat> {
+    let n = z.rows();
+    if assignments.len() != n {
+        return Err(Error::LengthMismatch("assignments len != points"));
+    }
+    if k == 0 || assignments.iter().any(|&a| a >= k) {
+        return Err(Error::BadClusterCount {
+            points: n,
+            clusters: k,
+        });
+    }
+    let d = z.cols();
+    let mut counts = vec![0usize; k];
+    let mut means = Mat::zeros(k, d);
+    for (i, &a) in assignments.iter().enumerate() {
+        counts[a] += 1;
+        for (m, &v) in means.row_mut(a).iter_mut().zip(z.row(i)) {
+            *m += v;
+        }
+    }
+    for c in 0..k {
+        let inv = 1.0 / counts[c].max(1) as f64;
+        for m in means.row_mut(c) {
+            *m *= inv;
+        }
+    }
+    let mut vars = Mat::full(k, d, 0.0);
+    for (i, &a) in assignments.iter().enumerate() {
+        for (v, (&x, &m)) in vars
+            .row_mut(a)
+            .iter_mut()
+            .zip(z.row(i).iter().zip(means.row(a)))
+        {
+            *v += (x - m) * (x - m);
+        }
+    }
+    const VAR_FLOOR: f64 = 1e-4;
+    for c in 0..k {
+        let inv = 1.0 / counts[c].max(1) as f64;
+        for v in vars.row_mut(c) {
+            *v = (*v * inv).max(VAR_FLOOR);
+        }
+    }
+    // Responsibilities with empty clusters excluded (they would otherwise
+    // produce NaNs; an empty cluster simply cannot attract nodes).
+    let mut out = Mat::zeros(n, k);
+    for i in 0..n {
+        let mut logs = vec![f64::NEG_INFINITY; k];
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue;
+            }
+            let mut acc = 0.0;
+            for ((&x, &m), &v) in z.row(i).iter().zip(means.row(c)).zip(vars.row(c)) {
+                acc += (x - m) * (x - m) / v;
+            }
+            logs[c] = -0.5 * acc / temperature.max(1e-9);
+        }
+        let mx = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for l in &mut logs {
+            *l = (*l - mx).exp();
+            sum += *l;
+        }
+        for c in 0..k {
+            out[(i, c)] = logs[c] / sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z_two_blobs() -> (Mat, Vec<usize>) {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.1, -0.1],
+            vec![-0.1, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 4.9],
+            vec![4.9, 5.1],
+        ];
+        (Mat::from_rows(&rows).unwrap(), vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn student_t_rows_are_distributions() {
+        let (z, _) = z_two_blobs();
+        let mu = Mat::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]).unwrap();
+        let p = student_t_assignments(&z, &mu).unwrap();
+        for i in 0..p.rows() {
+            assert!((p.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        // Points near a centroid assign to it.
+        assert!(p[(0, 0)] > 0.9);
+        assert!(p[(3, 1)] > 0.9);
+    }
+
+    #[test]
+    fn student_t_rejects_dim_mismatch() {
+        let z = Mat::zeros(2, 3);
+        let mu = Mat::zeros(2, 2);
+        assert!(student_t_assignments(&z, &mu).is_err());
+    }
+
+    #[test]
+    fn dec_target_sharpens() {
+        let p = Mat::from_rows(&[vec![0.7, 0.3], vec![0.6, 0.4]]).unwrap();
+        let q = dec_target_distribution(&p);
+        for i in 0..2 {
+            assert!((q.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        // High-confidence entries get amplified.
+        assert!(q[(0, 0)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn gaussian_soft_confident_on_blobs() {
+        let (z, hard) = z_two_blobs();
+        let p = gaussian_soft_assignments(&z, &hard, 2).unwrap();
+        for i in 0..3 {
+            assert!(p[(i, 0)] > 0.99, "{p:?}");
+        }
+        for i in 3..6 {
+            assert!(p[(i, 1)] > 0.99, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_soft_rows_are_distributions() {
+        let (z, hard) = z_two_blobs();
+        let p = gaussian_soft_assignments(&z, &hard, 3).unwrap(); // one empty cluster
+        for i in 0..z.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // Empty cluster attracts nobody.
+        for i in 0..z.rows() {
+            assert_eq!(p[(i, 2)], 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_soft_rejects_bad_inputs() {
+        let z = Mat::zeros(3, 2);
+        assert!(gaussian_soft_assignments(&z, &[0, 0], 1).is_err());
+        assert!(gaussian_soft_assignments(&z, &[0, 0, 5], 2).is_err());
+        assert!(gaussian_soft_assignments(&z, &[0, 0, 0], 0).is_err());
+    }
+
+    #[test]
+    fn borderline_point_is_uncertain() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![-0.5, 0.0],
+            vec![10.0, 0.0],
+            vec![8.0, 0.0],
+            vec![12.0, 0.0],
+            vec![5.0, 0.0], // half-way
+        ];
+        let z = Mat::from_rows(&rows).unwrap();
+        let hard = vec![0, 0, 0, 1, 1, 1, 0];
+        let p = gaussian_soft_assignments(&z, &hard, 2).unwrap();
+        // The interior points are confident; relative to them the mid point
+        // must be *less* confident about its top cluster.
+        let mid_conf = p.row(6).iter().cloned().fold(f64::MIN, f64::max);
+        let in_conf = p.row(0).iter().cloned().fold(f64::MIN, f64::max);
+        assert!(mid_conf < in_conf);
+    }
+}

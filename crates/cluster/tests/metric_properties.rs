@@ -1,0 +1,151 @@
+//! Property-based tests of the clustering metrics and soft-assignment
+//! kernels: invariances that must hold for *any* input.
+
+use proptest::prelude::*;
+use rgae_cluster::{
+    accuracy, ari, dec_target_distribution, gaussian_soft_assignments_tempered, hungarian, nmi,
+    student_t_assignments,
+};
+use rgae_linalg::Mat;
+
+/// Strategy: a labelling of `n` points into at most `k` clusters.
+fn labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, n)
+}
+
+proptest! {
+    /// ACC/NMI/ARI are invariant to any relabelling (permutation) of the
+    /// predicted cluster ids.
+    #[test]
+    fn metrics_invariant_to_prediction_relabelling(
+        truth in labels(40, 4),
+        pred in labels(40, 4),
+        shift in 1usize..4,
+    ) {
+        let permuted: Vec<usize> = pred.iter().map(|&p| (p + shift) % 4).collect();
+        prop_assert!((accuracy(&pred, &truth) - accuracy(&permuted, &truth)).abs() < 1e-12);
+        prop_assert!((nmi(&pred, &truth) - nmi(&permuted, &truth)).abs() < 1e-12);
+        prop_assert!((ari(&pred, &truth) - ari(&permuted, &truth)).abs() < 1e-12);
+    }
+
+    /// All three metrics reach their maximum exactly on a perfect (up to
+    /// relabelling) prediction.
+    #[test]
+    fn metrics_maximal_on_perfect_prediction(truth in labels(30, 3), shift in 0usize..3) {
+        let pred: Vec<usize> = truth.iter().map(|&t| (t + shift) % 3).collect();
+        prop_assert!((accuracy(&pred, &truth) - 1.0).abs() < 1e-12);
+        prop_assert!((nmi(&pred, &truth) - 1.0).abs() < 1e-12);
+        prop_assert!((ari(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    /// Bounds: ACC ∈ [1/K-ish, 1], NMI ∈ [0, 1], ARI ∈ [-1, 1]; Hungarian
+    /// matching guarantees ACC at least the share of the largest class.
+    #[test]
+    fn metric_bounds(truth in labels(50, 5), pred in labels(50, 5)) {
+        let a = accuracy(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&a));
+        let n = nmi(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&n));
+        let r = ari(&pred, &truth);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+    }
+
+    /// Symmetry of NMI and ARI in their two arguments.
+    #[test]
+    fn nmi_ari_symmetric(a in labels(35, 4), b in labels(35, 4)) {
+        prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-9);
+        prop_assert!((ari(&a, &b) - ari(&b, &a)).abs() < 1e-9);
+    }
+
+    /// The Hungarian solution never costs more than the identity assignment
+    /// or the reversed assignment (any permutation is an upper bound).
+    #[test]
+    fn hungarian_is_no_worse_than_known_permutations(
+        cells in proptest::collection::vec(0.0f64..10.0, 16)
+    ) {
+        let cost = Mat::from_vec(4, 4, cells).unwrap();
+        let assignment = hungarian(&cost);
+        let opt: f64 = assignment.iter().enumerate().map(|(i, &j)| cost[(i, j)]).sum();
+        let id: f64 = (0..4).map(|i| cost[(i, i)]).sum();
+        let rev: f64 = (0..4).map(|i| cost[(i, 3 - i)]).sum();
+        prop_assert!(opt <= id + 1e-9);
+        prop_assert!(opt <= rev + 1e-9);
+    }
+
+    /// Student-t assignments: rows are distributions and the nearest
+    /// centroid always gets the highest probability.
+    #[test]
+    fn student_t_rows_valid_and_monotone(
+        zv in proptest::collection::vec(-5.0f64..5.0, 12),
+        mv in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let z = Mat::from_vec(6, 2, zv).unwrap();
+        let mu = Mat::from_vec(3, 2, mv).unwrap();
+        let p = student_t_assignments(&z, &mu).unwrap();
+        for i in 0..6 {
+            let s: f64 = p.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            // argmax of p == argmin of distance.
+            let dists: Vec<f64> = (0..3).map(|c| z.row_sq_dist(i, mu.row(c))).collect();
+            let nearest = dists
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            let top = p.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            // Ties can flip the argmax; only check when strictly nearest.
+            let strictly = dists.iter().filter(|&&d| (d - dists[nearest]).abs() < 1e-12).count() == 1;
+            if strictly {
+                prop_assert_eq!(top, nearest);
+            }
+        }
+    }
+
+    /// DEC target: row-stochastic and never less peaked than P.
+    #[test]
+    fn dec_target_row_stochastic(pv in proptest::collection::vec(0.01f64..1.0, 12)) {
+        let mut p = Mat::from_vec(4, 3, pv).unwrap();
+        for i in 0..4 {
+            let s: f64 = p.row(i).iter().sum();
+            for e in p.row_mut(i) { *e /= s; }
+        }
+        let q = dec_target_distribution(&p);
+        for i in 0..4 {
+            let s: f64 = q.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Tempering never changes the argmax of the Eq. 15 kernel.
+    #[test]
+    fn tempering_preserves_argmax(
+        zv in proptest::collection::vec(-3.0f64..3.0, 20),
+        hard in proptest::collection::vec(0usize..2, 10),
+    ) {
+        let z = Mat::from_vec(10, 2, zv).unwrap();
+        // Ensure both clusters are inhabited.
+        let mut hard = hard;
+        hard[0] = 0;
+        hard[1] = 1;
+        let exact = gaussian_soft_assignments_tempered(&z, &hard, 2, 1.0).unwrap();
+        let tempered = gaussian_soft_assignments_tempered(&z, &hard, 2, 16.0).unwrap();
+        for i in 0..10 {
+            // Only assert when the exact kernel has a clear winner.
+            let margin = (exact[(i, 0)] - exact[(i, 1)]).abs();
+            if margin > 1e-6 {
+                prop_assert_eq!(
+                    exact.row_argmax()[i],
+                    tempered.row_argmax()[i],
+                    "row {} margins exact={:?} tempered={:?}",
+                    i, exact.row(i), tempered.row(i)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The Λ_FR and Λ_FD gradient-cosine diagnostics (Eqs. 4 and 7).
+//!
+//! Both metrics compare the direction of a *pseudo-supervised* gradient with
+//! the direction of its *supervised* counterpart, at the current parameters
+//! θ, without updating anything:
+//!
+//! * **Λ_FR** (Eq. 4) — clustering loss driven by the model's own soft
+//!   assignments (restricted to Ω under Ξ) versus driven by `Q′`, the
+//!   Hungarian-mapped ground truth, over all nodes. Values near 1 mean the
+//!   pseudo-labels push θ the same way the true labels would — little
+//!   Feature Randomness.
+//! * **Λ_FD** (Eq. 7) — reconstruction (BCE) loss against the
+//!   pseudo-supervised graph `Υ(A, P(Ξ(Z)), Ω)` versus against the fully
+//!   supervised clustering-oriented graph `Υ(A, Q′, 𝒱)`. Values near 1 mean
+//!   the current self-supervision graph is already clustering-oriented —
+//!   little Feature Drift.
+
+use std::rc::Rc;
+
+
+use rgae_linalg::{cosine, Csr, Mat};
+use rgae_models::{GaeModel, TrainData};
+
+use crate::{Error, Result};
+
+/// `y(Q′)`: ground-truth labels expressed in the predicted clusters' id
+/// space via the Hungarian algorithm (the paper's `𝔸_H(Q, P)`).
+pub fn q_prime(pred: &[usize], truth: &[usize]) -> Vec<usize> {
+    // `map_predictions_to_labels` returns predictions relabelled into truth
+    // space; Λ needs truth relabelled into prediction space, which is the
+    // inverse permutation. Build it from the same Hungarian mapping.
+    let mapping = rgae_cluster::best_mapping(pred, truth);
+    // mapping[pred_cluster] = label; invert (mapping is a permutation over
+    // the padded label space).
+    let k = mapping.len();
+    let mut inverse = vec![0usize; k];
+    for (p, &l) in mapping.iter().enumerate() {
+        inverse[l] = p;
+    }
+    truth.iter().map(|&t| inverse[t]).collect()
+}
+
+/// One-hot row-stochastic matrix from hard labels.
+pub fn one_hot_targets(labels: &[usize], k: usize) -> Mat {
+    let mut m = Mat::zeros(labels.len(), k);
+    for (i, &l) in labels.iter().enumerate() {
+        m[(i, l.min(k - 1))] = 1.0;
+    }
+    m
+}
+
+/// Λ_FR at the current parameters.
+///
+/// * `pseudo_target` — the model's own clustering target (DEC `Q`, GMM
+///   responsibilities), over all nodes;
+/// * `omega` — optional Ξ restriction applied to the pseudo branch;
+/// * `truth` — ground-truth labels.
+///
+/// Returns `None` for first-group models (no clustering head).
+pub fn lambda_fr(
+    model: &dyn GaeModel,
+    data: &TrainData,
+    pseudo_target: &Mat,
+    omega: Option<&[usize]>,
+    truth: &[usize],
+) -> Result<Option<f64>> {
+    let Some(grad_pseudo) = model.clustering_grad(data, pseudo_target, omega)? else {
+        return Ok(None);
+    };
+    // Supervised branch: Q′ one-hot over all nodes.
+    let pred = pseudo_target.row_argmax();
+    let qp = q_prime(&pred, truth);
+    let supervised = one_hot_targets(&qp, pseudo_target.cols());
+    let grad_sup = model
+        .clustering_grad(data, &supervised, None)?
+        .ok_or(Error::Config("model lost its clustering head mid-run"))?;
+    Ok(Some(cosine(&grad_pseudo, &grad_sup)))
+}
+
+/// Λ_FD at the current parameters.
+///
+/// * `pseudo_graph` — the current self-supervision graph
+///   `Υ(A, P(Ξ(Z)), Ω)` (or plain `A` for a vanilla model);
+/// * `supervised_graph` — the fully supervised clustering-oriented graph
+///   `Υ(A, Q′, 𝒱)`.
+pub fn lambda_fd(
+    model: &dyn GaeModel,
+    data: &TrainData,
+    pseudo_graph: &Rc<Csr>,
+    supervised_graph: &Rc<Csr>,
+) -> Result<f64> {
+    let g_pseudo = model.recon_grad(data, pseudo_graph)?;
+    let g_sup = model.recon_grad(data, supervised_graph)?;
+    Ok(cosine(&g_pseudo, &g_sup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_prime_is_truth_in_pred_space() {
+        // Predictions systematically swap 0↔1 relative to truth.
+        let pred = [1, 1, 0, 0];
+        let truth = [0, 0, 1, 1];
+        let qp = q_prime(&pred, &truth);
+        assert_eq!(qp, vec![1, 1, 0, 0]);
+        // A perfect (identity) predictor maps truth to itself.
+        let qp2 = q_prime(&[0, 1, 2], &[0, 1, 2]);
+        assert_eq!(qp2, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn q_prime_matches_mapped_predictions_when_perfect() {
+        let pred = [2, 0, 1, 2, 0];
+        let truth = [0, 1, 2, 0, 1];
+        // Perfect up to permutation → mapped predictions equal truth and
+        // q_prime equals pred.
+        assert_eq!(
+            rgae_cluster::map_predictions_to_labels(&pred, &truth),
+            truth.to_vec()
+        );
+        assert_eq!(q_prime(&pred, &truth), pred.to_vec());
+    }
+
+    #[test]
+    fn one_hot_rows_are_valid() {
+        let m = one_hot_targets(&[0, 2, 1], 3);
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.row(2), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_clamps_out_of_range() {
+        let m = one_hot_targets(&[5], 3);
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0]);
+    }
+}

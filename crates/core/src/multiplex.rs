@@ -1,0 +1,153 @@
+//! Extending Υ to multiplex graphs — the paper's §6 future-work item.
+//!
+//! The single-layer Υ rewrites one self-supervision graph. On a multiplex
+//! graph each relation type carries its own clustering-irrelevant links, so
+//! the natural extension applies the drop rule **per layer** (an
+//! inter-cluster link is noise in whatever layer it occurs) while adding the
+//! centroid stars **once**, to a designated backbone layer — duplicating the
+//! stars into every layer would double-count them in any aggregated filter.
+
+use rgae_graph::MultiplexGraph;
+use rgae_linalg::{Csr, Mat};
+
+use crate::upsilon::{upsilon, UpsilonConfig, UpsilonOutcome};
+use crate::Result;
+
+/// Outcome of the multiplex Υ: rewritten layers plus per-layer bookkeeping.
+#[derive(Clone, Debug)]
+pub struct MultiplexUpsilonOutcome {
+    /// The rewritten multiplex graph.
+    pub graph: MultiplexGraph,
+    /// Per-layer Υ outcomes (layer 0 carries the added stars).
+    pub per_layer: Vec<UpsilonOutcome>,
+}
+
+/// Apply Υ to every layer of a multiplex graph.
+///
+/// * drop rule: applied on every layer;
+/// * add rule: applied only on `backbone` (default layer 0).
+pub fn upsilon_multiplex(
+    graph: &MultiplexGraph,
+    p_soft: &Mat,
+    z: &Mat,
+    omega: &[usize],
+    cfg: &UpsilonConfig,
+    backbone: usize,
+) -> Result<MultiplexUpsilonOutcome> {
+    let backbone = backbone.min(graph.num_layers() - 1);
+    let mut rewritten = graph.clone();
+    let mut per_layer = Vec::with_capacity(graph.num_layers());
+    for (l, layer) in graph.layers().iter().enumerate() {
+        let layer_cfg = UpsilonConfig {
+            add_edges: cfg.add_edges && l == backbone,
+            drop_edges: cfg.drop_edges,
+        };
+        let out = upsilon(layer, p_soft, z, omega, &layer_cfg)?;
+        rewritten = rewritten
+            .with_layer(l, out.graph.clone())
+            .map_err(crate::Error::Graph)?;
+        per_layer.push(out);
+    }
+    Ok(MultiplexUpsilonOutcome {
+        graph: rewritten,
+        per_layer,
+    })
+}
+
+/// The multiplex self-supervision target: the union of the rewritten
+/// layers (what the decoder reconstructs when training on a multiplex).
+pub fn multiplex_self_supervision(outcome: &MultiplexUpsilonOutcome) -> Csr {
+    outcome.graph.union_adjacency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgae_linalg::Mat;
+
+    /// Two clusters over 6 nodes; layer 0 has a cross-link 2–3, layer 1 has
+    /// a different cross-link 0–5.
+    fn fixture() -> (MultiplexGraph, Mat, Mat) {
+        let l0 = Csr::adjacency_from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]).unwrap();
+        let l1 = Csr::adjacency_from_edges(6, &[(0, 2), (3, 5), (0, 5)]).unwrap();
+        let x = Mat::eye(6);
+        let g = MultiplexGraph::new("mx", vec![l0, l1], x, vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let z = Mat::from_rows(&[
+            vec![0.0],
+            vec![0.4],
+            vec![0.8],
+            vec![9.0],
+            vec![9.5],
+            vec![10.0],
+        ])
+        .unwrap();
+        let p = Mat::from_rows(&[
+            vec![0.9, 0.1],
+            vec![0.9, 0.1],
+            vec![0.8, 0.2],
+            vec![0.1, 0.9],
+            vec![0.1, 0.9],
+            vec![0.2, 0.8],
+        ])
+        .unwrap();
+        (g, p, z)
+    }
+
+    #[test]
+    fn drops_cross_links_in_every_layer() {
+        let (g, p, z) = fixture();
+        let omega: Vec<usize> = (0..6).collect();
+        let out =
+            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
+        assert!(!out.graph.layers()[0].contains(2, 3), "layer 0 cross-link");
+        assert!(!out.graph.layers()[1].contains(0, 5), "layer 1 cross-link");
+        // Intra-cluster structure preserved.
+        assert!(out.graph.layers()[1].contains(0, 2));
+        assert!(out.graph.layers()[1].contains(3, 5));
+    }
+
+    #[test]
+    fn stars_only_on_backbone() {
+        let (g, p, z) = fixture();
+        let omega: Vec<usize> = (0..6).collect();
+        let out =
+            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
+        assert!(out.per_layer[1].added.is_empty(), "layer 1 got stars");
+        // Backbone gained any missing centroid links.
+        for (c, ctr) in out.per_layer[0].centroids.iter().enumerate() {
+            let ctr = ctr.unwrap();
+            for i in 0..6 {
+                if p.row_argmax()[i] == c && i != ctr {
+                    assert!(
+                        out.graph.layers()[0].contains(i, ctr),
+                        "node {i} missing star to {ctr}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_target_is_clustering_oriented() {
+        let (g, p, z) = fixture();
+        let labels = [0, 0, 0, 1, 1, 1];
+        let omega: Vec<usize> = (0..6).collect();
+        let before = rgae_graph::edge_homophily(&g.union_adjacency(), &labels);
+        let out =
+            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
+        let target = multiplex_self_supervision(&out);
+        let after = rgae_graph::edge_homophily(&target, &labels);
+        assert!(after > before, "homophily {before} -> {after}");
+        assert!((after - 1.0).abs() < 1e-12, "all cross links dropped");
+    }
+
+    #[test]
+    fn backbone_index_clamped() {
+        let (g, p, z) = fixture();
+        let omega: Vec<usize> = (0..6).collect();
+        // backbone = 99 clamps to the last layer instead of panicking.
+        let out =
+            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 99).unwrap();
+        assert!(out.per_layer[0].added.is_empty());
+    }
+}

@@ -1,0 +1,595 @@
+//! The R-trainer: integrates Ξ and Υ into any [`GaeModel`] (the paper's
+//! "R-𝒟" recipe), plus the plain trainer used for the un-modified baselines.
+//!
+//! Training loop (Section 5.1):
+//!
+//! 1. pretrain with vanilla reconstruction;
+//! 2. initialise the clustering head (k-means / GMM on the embeddings);
+//! 3. every `M₁` epochs recompute Ω = Ξ(P′); every `M₂` epochs rebuild the
+//!    self-supervision graph `A^self_clus = Υ(A, P, Ω)`;
+//! 4. optimise `L_clus(P(Ξ(Z)))` + γ·BCE(Â, A^self_clus) until the
+//!    convergence criterion `|Ω| ≥ 0.9·|𝒱|`.
+//!
+//! The [`RConfig`] switches expose every protocol variation the paper
+//! evaluates: Ξ delays (Table 6), single-step protection against FD
+//! (Table 7), the α ablations (Table 8), and the add/drop ablations
+//! (Table 9).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rgae_cluster::accuracy;
+use rgae_graph::{AttributedGraph, GraphStats};
+use rgae_linalg::{Csr, Rng64};
+use rgae_models::{ClusterStep, GaeModel, StepSpec, TrainData};
+
+use crate::diagnostics::{lambda_fd, lambda_fr, one_hot_targets, q_prime};
+use crate::eval::{evaluate, soft_assignments_or_kmeans, xi_assignments_or_kmeans, Metrics};
+use crate::upsilon::{upsilon, UpsilonConfig};
+use crate::xi::{xi, Omega, XiConfig};
+use crate::Result;
+
+/// How Υ counters Feature Drift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdMode {
+    /// The paper's proposal: gradually rewrite `A` every `M₂` epochs using
+    /// the current Ω (a *correction* mechanism).
+    GradualCorrection,
+    /// Table 7's alternative: transform `A` once, with `Ω = 𝒱`, before the
+    /// clustering phase (a *protection* mechanism).
+    SingleStepProtection,
+}
+
+/// Full configuration of an R-𝒟 run.
+#[derive(Clone, Debug)]
+pub struct RConfig {
+    /// Ξ configuration (α₁, α₂ and their ablation switches).
+    pub xi: XiConfig,
+    /// Υ configuration (add/drop ablation switches).
+    pub upsilon: UpsilonConfig,
+    /// Ω refresh period M₁ (epochs).
+    pub m1: usize,
+    /// A^self_clus refresh period M₂ (epochs).
+    pub m2: usize,
+    /// Reconstruction weight γ.
+    pub gamma: f64,
+    /// Pretraining epochs (vanilla reconstruction).
+    pub pretrain_epochs: usize,
+    /// Maximum clustering-phase epochs.
+    pub max_epochs: usize,
+    /// Minimum clustering-phase epochs before the convergence check.
+    pub min_epochs: usize,
+    /// Convergence threshold on |Ω| / N (paper: 0.9).
+    pub convergence: f64,
+    /// Delay (epochs) before Ξ activates; 0 is the paper's protection
+    /// strategy, larger values reproduce Table 6's correction variants.
+    pub delay_xi: usize,
+    /// Disable Ξ entirely (Table 8 "ablation of both": Ω = 𝒱 always).
+    pub use_xi: bool,
+    /// Disable Υ entirely (Table 9 "ablation of both": A^self = A always).
+    pub use_upsilon: bool,
+    /// FD strategy (Table 7).
+    pub fd_mode: FdMode,
+    /// Record the Λ_FR / Λ_FD diagnostics each epoch (extra backward
+    /// passes; needed for Figs. 5–6).
+    pub track_diagnostics: bool,
+    /// Evaluate clustering metrics every this many epochs (1 = every epoch).
+    pub eval_every: usize,
+    /// Clustering-phase epochs at which to snapshot the embeddings and the
+    /// current self-supervision graph (Figs. 4 and 10).
+    pub snapshot_epochs: Vec<usize>,
+}
+
+impl Default for RConfig {
+    fn default() -> Self {
+        RConfig {
+            xi: XiConfig::new(0.3),
+            upsilon: UpsilonConfig::default(),
+            m1: 20,
+            m2: 10,
+            gamma: 0.001,
+            pretrain_epochs: 200,
+            max_epochs: 200,
+            min_epochs: 30,
+            convergence: 0.9,
+            delay_xi: 0,
+            use_xi: true,
+            use_upsilon: true,
+            fd_mode: FdMode::GradualCorrection,
+            track_diagnostics: false,
+            eval_every: 1,
+            snapshot_epochs: Vec::new(),
+        }
+    }
+}
+
+impl RConfig {
+    /// Appendix-C hyper-parameters (the R-GMM-VGAE rows; per-model
+    /// overrides are applied by the experiment harness where they differ).
+    pub fn for_dataset(name: &str) -> Self {
+        let mut cfg = RConfig::default();
+        match name {
+            "cora-like" => {
+                cfg.xi = XiConfig::new(0.3);
+                cfg.m1 = 20;
+                cfg.m2 = 10;
+            }
+            "citeseer-like" => {
+                cfg.xi = XiConfig::new(0.2);
+                cfg.m1 = 50;
+                cfg.m2 = 1;
+            }
+            "pubmed-like" => {
+                cfg.xi = XiConfig::new(0.4);
+                cfg.m1 = 50;
+                cfg.m2 = 5;
+            }
+            "usa-air-like" => {
+                cfg.xi = XiConfig::new(0.3);
+                cfg.m1 = 50;
+                cfg.m2 = 1;
+            }
+            "europe-air-like" => {
+                cfg.xi = XiConfig::new(0.05);
+                cfg.m1 = 50;
+                cfg.m2 = 1;
+            }
+            "brazil-air-like" => {
+                cfg.xi = XiConfig::new(0.25);
+                cfg.m1 = 50;
+                cfg.m2 = 1;
+            }
+            _ => {}
+        }
+        cfg
+    }
+
+    /// Shrink epoch counts for smoke tests and `--quick` harness runs.
+    pub fn quick(mut self) -> Self {
+        self.pretrain_epochs = self.pretrain_epochs.min(60);
+        self.max_epochs = self.max_epochs.min(60);
+        self.min_epochs = self.min_epochs.min(10);
+        self.m1 = self.m1.min(10);
+        self.m2 = self.m2.min(5);
+        self
+    }
+}
+
+/// Per-epoch trace of an R run (drives Figs. 4–6 and 9).
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Clustering-phase epoch index.
+    pub epoch: usize,
+    /// Training loss at this step.
+    pub loss: f64,
+    /// Clustering metrics over all nodes (only filled on eval epochs).
+    pub metrics: Option<Metrics>,
+    /// |Ω|.
+    pub omega_size: usize,
+    /// Accuracy restricted to Ω.
+    pub omega_acc: f64,
+    /// Accuracy over 𝒱 − Ω.
+    pub rest_acc: f64,
+    /// Statistics of the current self-supervision graph.
+    pub graph_stats: GraphStats,
+    /// Links present in `A^self_clus` but not in `A`, split by label
+    /// agreement: `(true_links, false_links)`.
+    pub added_links: (usize, usize),
+    /// Links of `A` missing from `A^self_clus`, split the same way.
+    pub dropped_links: (usize, usize),
+    /// Λ_FR with the Ξ restriction (the R-model's own value).
+    pub lambda_fr_restricted: Option<f64>,
+    /// Λ_FR without the restriction (the plain model's value at the same θ).
+    pub lambda_fr_full: Option<f64>,
+    /// Λ_FD of the current self-supervision graph vs Υ(A, Q′, 𝒱).
+    pub lambda_fd_current: Option<f64>,
+    /// Λ_FD of the vanilla graph `A` vs Υ(A, Q′, 𝒱).
+    pub lambda_fd_vanilla: Option<f64>,
+}
+
+/// Outcome of an R run.
+#[derive(Clone, Debug)]
+pub struct RReport {
+    /// Metrics after pretraining + head initialisation (the shared starting
+    /// point of 𝒟 and R-𝒟).
+    pub pretrain_metrics: Metrics,
+    /// Final metrics.
+    pub final_metrics: Metrics,
+    /// Clustering-phase epoch at which |Ω| ≥ 0.9N was reached.
+    pub converged_at: Option<usize>,
+    /// Per-epoch trace.
+    pub epochs: Vec<EpochRecord>,
+    /// Wall-clock seconds for the clustering phase (excludes pretraining).
+    pub train_seconds: f64,
+    /// Final self-supervision graph (for Fig. 4 snapshots).
+    pub final_graph: Rc<Csr>,
+    /// `(epoch, Z, A^self_clus)` snapshots taken at `snapshot_epochs`.
+    pub snapshots: Vec<(usize, rgae_linalg::Mat, Rc<Csr>)>,
+}
+
+/// Outcome of a plain (un-modified 𝒟) run.
+#[derive(Clone, Debug)]
+pub struct PlainReport {
+    /// Metrics after pretraining + head initialisation.
+    pub pretrain_metrics: Metrics,
+    /// Final metrics.
+    pub final_metrics: Metrics,
+    /// Per-epoch trace (Λ diagnostics only when requested).
+    pub epochs: Vec<EpochRecord>,
+    /// Wall-clock seconds for the clustering phase.
+    pub train_seconds: f64,
+    /// `(epoch, Z)` snapshots taken at `snapshot_epochs`.
+    pub snapshots: Vec<(usize, rgae_linalg::Mat)>,
+}
+
+/// Split links into (same-label, cross-label) counts.
+fn split_links(links: &[(usize, usize)], labels: &[usize]) -> (usize, usize) {
+    let mut t = 0;
+    let mut f = 0;
+    for &(u, v) in links {
+        if labels[u] == labels[v] {
+            t += 1;
+        } else {
+            f += 1;
+        }
+    }
+    (t, f)
+}
+
+/// Links in `b` missing from `a` (upper triangle).
+fn edge_diff(a: &Csr, b: &Csr) -> Vec<(usize, usize)> {
+    b.upper_edges()
+        .into_iter()
+        .filter(|&(u, v)| !a.contains(u, v))
+        .collect()
+}
+
+/// The supervised clustering-oriented graph `Υ(A, Q′, 𝒱)` used by Λ_FD.
+fn supervised_graph(
+    data: &TrainData,
+    z: &rgae_linalg::Mat,
+    p: &rgae_linalg::Mat,
+    truth: &[usize],
+) -> Result<Rc<Csr>> {
+    let pred = p.row_argmax();
+    let qp = q_prime(&pred, truth);
+    let k = data.num_classes.max(qp.iter().copied().max().unwrap_or(0) + 1);
+    let one_hot = one_hot_targets(&qp, k);
+    let all: Vec<usize> = (0..data.num_nodes).collect();
+    let out = upsilon(
+        &data.adjacency,
+        &one_hot,
+        z,
+        &all,
+        &UpsilonConfig::default(),
+    )?;
+    Ok(Rc::new(out.graph))
+}
+
+/// The generic R-𝒟 trainer.
+pub struct RTrainer {
+    cfg: RConfig,
+}
+
+impl RTrainer {
+    /// Build from a configuration.
+    pub fn new(cfg: RConfig) -> Self {
+        RTrainer { cfg }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &RConfig {
+        &self.cfg
+    }
+
+    /// Pretrain only (vanilla reconstruction + head initialisation). Useful
+    /// when several variants must share the same pretrained weights.
+    pub fn pretrain(
+        &self,
+        model: &mut dyn GaeModel,
+        data: &TrainData,
+        rng: &mut Rng64,
+    ) -> Result<()> {
+        let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
+        for _ in 0..self.cfg.pretrain_epochs {
+            model.train_step(data, &spec, rng)?;
+        }
+        model.init_clustering(data, rng)?;
+        Ok(())
+    }
+
+    /// Full R run: pretraining, then the Ξ/Υ clustering phase.
+    pub fn train(
+        &self,
+        model: &mut dyn GaeModel,
+        graph: &AttributedGraph,
+        rng: &mut Rng64,
+    ) -> Result<RReport> {
+        let data = TrainData::from_graph(graph);
+        self.pretrain(model, &data, rng)?;
+        self.train_clustering_phase(model, graph, &data, rng)
+    }
+
+    /// The clustering phase alone (assumes pretraining already ran).
+    #[allow(clippy::too_many_lines)]
+    pub fn train_clustering_phase(
+        &self,
+        model: &mut dyn GaeModel,
+        graph: &AttributedGraph,
+        data: &TrainData,
+        rng: &mut Rng64,
+    ) -> Result<RReport> {
+        let cfg = &self.cfg;
+        let truth = graph.labels();
+        let n = data.num_nodes;
+        let all_nodes: Vec<usize> = (0..n).collect();
+        let pretrain_metrics = evaluate(model, data, truth, rng)?;
+
+        let mut a_self: Rc<Csr> = Rc::clone(&data.adjacency);
+        let mut omega = Omega {
+            indices: all_nodes.clone(),
+            lambda1: vec![1.0; n],
+            lambda2: vec![0.0; n],
+        };
+        let mut epochs = Vec::new();
+        let mut snapshots = Vec::new();
+        let mut converged_at = None;
+        let start = Instant::now();
+
+        // Table 7 protection variant: one-shot Υ(A, P, 𝒱) before training.
+        if cfg.use_upsilon && cfg.fd_mode == FdMode::SingleStepProtection {
+            let p = soft_assignments_or_kmeans(model, data, rng)?;
+            let z = model.embed(data);
+            let out = upsilon(&data.adjacency, &p, &z, &all_nodes, &cfg.upsilon)?;
+            a_self = Rc::new(out.graph);
+        }
+
+        for epoch in 0..cfg.max_epochs {
+            if cfg.snapshot_epochs.contains(&epoch) {
+                snapshots.push((epoch, model.embed(data), Rc::clone(&a_self)));
+            }
+            let xi_active = cfg.use_xi && epoch >= cfg.delay_xi;
+
+            // Refresh Ω every M₁ epochs (Ω = 𝒱 while Ξ is inactive).
+            if epoch % cfg.m1 == 0 {
+                if xi_active {
+                    let p = xi_assignments_or_kmeans(model, data, rng)?;
+                    let candidate = xi(&p, &cfg.xi)?;
+                    if !candidate.is_empty() {
+                        omega = candidate;
+                    }
+                } else {
+                    omega = Omega {
+                        indices: all_nodes.clone(),
+                        lambda1: vec![1.0; n],
+                        lambda2: vec![0.0; n],
+                    };
+                }
+            }
+
+            // Refresh A^self_clus every M₂ epochs (gradual correction mode).
+            if cfg.use_upsilon
+                && cfg.fd_mode == FdMode::GradualCorrection
+                && epoch % cfg.m2 == 0
+            {
+                let p = soft_assignments_or_kmeans(model, data, rng)?;
+                let z = model.embed(data);
+                let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &cfg.upsilon)?;
+                a_self = Rc::new(out.graph);
+            }
+
+            // One optimisation step.
+            let cluster = match model.cluster_target(data)? {
+                Some(target) => Some(ClusterStep {
+                    target,
+                    omega: if omega.len() < n {
+                        Some(omega.indices.clone())
+                    } else {
+                        None
+                    },
+                }),
+                None => None,
+            };
+            let spec = StepSpec {
+                recon_target: Some(Rc::clone(&a_self)),
+                gamma: cfg.gamma,
+                cluster,
+            };
+            let loss = model.train_step(data, &spec, rng)?;
+
+            // Bookkeeping.
+            let record = self.record_epoch(
+                model, data, graph, epoch, loss, &omega, &a_self, rng,
+            )?;
+            epochs.push(record);
+
+            if converged_at.is_none()
+                && epoch >= cfg.min_epochs
+                && omega.coverage(n) >= cfg.convergence
+            {
+                converged_at = Some(epoch);
+                break;
+            }
+        }
+        let train_seconds = start.elapsed().as_secs_f64();
+        if cfg.snapshot_epochs.iter().any(|&e| e >= cfg.max_epochs) {
+            snapshots.push((cfg.max_epochs, model.embed(data), Rc::clone(&a_self)));
+        }
+        let final_metrics = evaluate(model, data, truth, rng)?;
+        Ok(RReport {
+            pretrain_metrics,
+            final_metrics,
+            converged_at,
+            epochs,
+            train_seconds,
+            final_graph: a_self,
+            snapshots,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_epoch(
+        &self,
+        model: &dyn GaeModel,
+        data: &TrainData,
+        graph: &AttributedGraph,
+        epoch: usize,
+        loss: f64,
+        omega: &Omega,
+        a_self: &Rc<Csr>,
+        rng: &mut Rng64,
+    ) -> Result<EpochRecord> {
+        let cfg = &self.cfg;
+        let truth = graph.labels();
+        let n = data.num_nodes;
+        let p = soft_assignments_or_kmeans(model, data, rng)?;
+        let pred = p.row_argmax();
+
+        let eval_now = epoch.is_multiple_of(cfg.eval_every);
+        let metrics = eval_now.then(|| Metrics::from_predictions(&pred, truth));
+
+        let omega_pred: Vec<usize> = omega.indices.iter().map(|&i| pred[i]).collect();
+        let omega_truth: Vec<usize> = omega.indices.iter().map(|&i| truth[i]).collect();
+        let omega_acc = if omega.is_empty() {
+            0.0
+        } else {
+            accuracy(&omega_pred, &omega_truth)
+        };
+        let rest: Vec<usize> = omega.complement(n);
+        let rest_pred: Vec<usize> = rest.iter().map(|&i| pred[i]).collect();
+        let rest_truth: Vec<usize> = rest.iter().map(|&i| truth[i]).collect();
+        let rest_acc = if rest.is_empty() {
+            1.0
+        } else {
+            accuracy(&rest_pred, &rest_truth)
+        };
+
+        let graph_stats = GraphStats::compute(a_self, truth);
+        let added = edge_diff(&data.adjacency, a_self);
+        let dropped = edge_diff(a_self, &data.adjacency);
+        let added_links = split_links(&added, truth);
+        let dropped_links = split_links(&dropped, truth);
+
+        let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
+        if cfg.track_diagnostics {
+            let z = model.embed(data);
+            if let Some(target) = model.cluster_target(data)? {
+                fr_r = lambda_fr(model, data, &target, Some(&omega.indices), truth)?;
+                fr_full = lambda_fr(model, data, &target, None, truth)?;
+            }
+            let sup = supervised_graph(data, &z, &p, truth)?;
+            fd_cur = Some(lambda_fd(model, data, a_self, &sup)?);
+            fd_van = Some(lambda_fd(model, data, &data.adjacency, &sup)?);
+        }
+
+        Ok(EpochRecord {
+            epoch,
+            loss,
+            metrics,
+            omega_size: omega.len(),
+            omega_acc,
+            rest_acc,
+            graph_stats,
+            added_links,
+            dropped_links,
+            lambda_fr_restricted: fr_r,
+            lambda_fr_full: fr_full,
+            lambda_fd_current: fd_cur,
+            lambda_fd_vanilla: fd_van,
+        })
+    }
+}
+
+/// Train the un-modified model 𝒟: pretraining, head initialisation, then
+/// `train_epochs` of its own joint loss against the static graph `A` (or
+/// pure reconstruction for first-group models). Diagnostics are recorded
+/// when `track_diagnostics` is set (using `xi_cfg` only to compute the
+/// hypothetical Ω for the Λ comparisons).
+pub fn train_plain(
+    model: &mut dyn GaeModel,
+    graph: &AttributedGraph,
+    cfg: &RConfig,
+    rng: &mut Rng64,
+) -> Result<PlainReport> {
+    let data = TrainData::from_graph(graph);
+    let truth = graph.labels();
+    let spec_pre = StepSpec::pretrain(Rc::clone(&data.adjacency));
+    for _ in 0..cfg.pretrain_epochs {
+        model.train_step(&data, &spec_pre, rng)?;
+    }
+    model.init_clustering(&data, rng)?;
+    let pretrain_metrics = evaluate(model, &data, truth, rng)?;
+
+    let mut epochs = Vec::new();
+    let mut snapshots = Vec::new();
+    let start = Instant::now();
+    for epoch in 0..cfg.max_epochs {
+        if cfg.snapshot_epochs.contains(&epoch) {
+            snapshots.push((epoch, model.embed(&data)));
+        }
+        let cluster = model.cluster_target(&data)?.map(|target| ClusterStep {
+            target,
+            omega: None,
+        });
+        let spec = StepSpec {
+            recon_target: Some(Rc::clone(&data.adjacency)),
+            gamma: cfg.gamma,
+            cluster,
+        };
+        let loss = model.train_step(&data, &spec, rng)?;
+
+        let p = soft_assignments_or_kmeans(model, &data, rng)?;
+        let pred = p.row_argmax();
+        let metrics = epoch.is_multiple_of(cfg.eval_every)
+            .then(|| Metrics::from_predictions(&pred, truth));
+        let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
+        let mut omega_size = data.num_nodes;
+        if cfg.track_diagnostics {
+            let p_xi = xi_assignments_or_kmeans(model, &data, rng)?;
+            let omega = xi(&p_xi, &cfg.xi)?;
+            omega_size = omega.len();
+            let z = model.embed(&data);
+            if let Some(target) = model.cluster_target(&data)? {
+                if !omega.is_empty() {
+                    fr_r = lambda_fr(model, &data, &target, Some(&omega.indices), truth)?;
+                }
+                fr_full = lambda_fr(model, &data, &target, None, truth)?;
+            }
+            let sup = supervised_graph(&data, &z, &p, truth)?;
+            // "R value at the plain model's θ": the Υ-transformed graph the
+            // R-model would use right now.
+            if !omega.is_empty() {
+                let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &cfg.upsilon)?;
+                fd_cur = Some(lambda_fd(model, &data, &Rc::new(out.graph), &sup)?);
+            }
+            fd_van = Some(lambda_fd(model, &data, &data.adjacency, &sup)?);
+        }
+        epochs.push(EpochRecord {
+            epoch,
+            loss,
+            metrics,
+            omega_size,
+            omega_acc: 0.0,
+            rest_acc: 0.0,
+            graph_stats: GraphStats::compute(&data.adjacency, truth),
+            added_links: (0, 0),
+            dropped_links: (0, 0),
+            lambda_fr_restricted: fr_r,
+            lambda_fr_full: fr_full,
+            lambda_fd_current: fd_cur,
+            lambda_fd_vanilla: fd_van,
+        });
+    }
+    let train_seconds = start.elapsed().as_secs_f64();
+    if cfg.snapshot_epochs.iter().any(|&e| e >= cfg.max_epochs) {
+        snapshots.push((cfg.max_epochs, model.embed(&data)));
+    }
+    let final_metrics = evaluate(model, &data, truth, rng)?;
+    Ok(PlainReport {
+        pretrain_metrics,
+        final_metrics,
+        epochs,
+        train_seconds,
+        snapshots,
+    })
+}

@@ -1,0 +1,174 @@
+//! Corruption utilities for the robustness experiments (Figs. 7–8):
+//! randomly add/drop edges, add Gaussian feature noise, drop feature columns.
+
+use rgae_graph::{apply_edits, AttributedGraph, EditSet};
+use rgae_linalg::Rng64;
+
+use crate::Result;
+
+/// Add `count` random edges between currently-unlinked node pairs.
+pub fn add_random_edges(
+    graph: &AttributedGraph,
+    count: usize,
+    rng: &mut Rng64,
+) -> Result<AttributedGraph> {
+    let n = graph.num_nodes();
+    let a = graph.adjacency();
+    let mut edits = EditSet::new();
+    let mut attempts = 0;
+    let max_attempts = count * 100 + 1000;
+    while edits.num_additions() < count && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.index(n);
+        let v = rng.index(n);
+        if u == v || a.contains(u, v) {
+            continue;
+        }
+        edits.add_edge(u, v).expect("u != v");
+    }
+    let adj = apply_edits(a, &edits)?;
+    Ok(graph.clone().with_adjacency(adj)?)
+}
+
+/// Drop `count` random existing edges.
+pub fn drop_random_edges(
+    graph: &AttributedGraph,
+    count: usize,
+    rng: &mut Rng64,
+) -> Result<AttributedGraph> {
+    let mut edges = graph.edges();
+    rng.shuffle(&mut edges);
+    let mut edits = EditSet::new();
+    for &(u, v) in edges.iter().take(count) {
+        edits.drop_edge(u, v).expect("u != v");
+    }
+    let adj = apply_edits(graph.adjacency(), &edits)?;
+    Ok(graph.clone().with_adjacency(adj)?)
+}
+
+/// Add iid Gaussian noise with standard deviation `std` to every feature.
+pub fn add_feature_noise(
+    graph: &AttributedGraph,
+    std: f64,
+    rng: &mut Rng64,
+) -> Result<AttributedGraph> {
+    let mut x = graph.features().clone();
+    for v in x.as_mut_slice() {
+        *v += rng.normal_with(0.0, std);
+    }
+    Ok(graph.clone().with_features(x)?)
+}
+
+/// Zero out `count` randomly chosen feature columns.
+pub fn drop_feature_columns(
+    graph: &AttributedGraph,
+    count: usize,
+    rng: &mut Rng64,
+) -> Result<AttributedGraph> {
+    let j = graph.num_features();
+    let cols = rng.sample_indices(j, count.min(j));
+    let mut x = graph.features().clone();
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
+        for &c in &cols {
+            row[c] = 0.0;
+        }
+    }
+    Ok(graph.clone().with_features(x)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{citation_like, CitationSpec};
+
+    fn toy() -> AttributedGraph {
+        citation_like(
+            &CitationSpec {
+                name: "toy".into(),
+                num_nodes: 100,
+                num_classes: 3,
+                num_features: 30,
+                avg_degree: 4.0,
+                homophily: 0.8,
+                degree_power: 2.5,
+                words_per_node: 6,
+                topic_purity: 0.8,
+                class_proportions: vec![],
+            },
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_edges_increases_count() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(1);
+        let g2 = add_random_edges(&g, 40, &mut rng).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges() + 40);
+        // Features untouched.
+        assert_eq!(g2.features().as_slice(), g.features().as_slice());
+    }
+
+    #[test]
+    fn drop_edges_decreases_count() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(2);
+        let g2 = drop_random_edges(&g, 30, &mut rng).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges() - 30);
+    }
+
+    #[test]
+    fn drop_more_edges_than_exist_empties_graph() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(3);
+        let g2 = drop_random_edges(&g, 10_000, &mut rng).unwrap();
+        assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn feature_noise_perturbs_but_preserves_shape() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(4);
+        let g2 = add_feature_noise(&g, 0.1, &mut rng).unwrap();
+        assert_eq!(g2.features().shape(), g.features().shape());
+        let diff = g2.features().sub(g.features()).unwrap().frob_norm();
+        assert!(diff > 0.0);
+        // Adjacency untouched.
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(5);
+        let g2 = add_feature_noise(&g, 0.0, &mut rng).unwrap();
+        assert_eq!(g2.features().as_slice(), g.features().as_slice());
+    }
+
+    #[test]
+    fn drop_columns_zeroes_exactly_that_many() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(6);
+        let g2 = drop_feature_columns(&g, 10, &mut rng).unwrap();
+        let zero_cols = (0..g2.num_features())
+            .filter(|&c| g2.features().col(c).iter().all(|&v| v == 0.0))
+            .count();
+        assert!(zero_cols >= 10);
+        assert_eq!(g2.features().shape(), g.features().shape());
+        // Untouched columns are bit-identical.
+        let changed = (0..g.num_features())
+            .filter(|&c| g.features().col(c) != g2.features().col(c))
+            .count();
+        assert!(changed <= 10);
+    }
+
+    #[test]
+    fn drop_all_columns_ok() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(7);
+        let g2 = drop_feature_columns(&g, 10_000, &mut rng).unwrap();
+        assert!(g2.features().frob_norm() == 0.0);
+    }
+}

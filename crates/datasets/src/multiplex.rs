@@ -1,0 +1,190 @@
+//! Multiplex benchmark generator: one node set with shared labels and
+//! features, several edge layers with their own homophily/density (e.g.
+//! "citation" + "co-authorship"). Supports the §6 future-work extension.
+
+use std::collections::BTreeSet;
+
+use rgae_graph::MultiplexGraph;
+use rgae_linalg::{Mat, Rng64};
+
+use crate::{Error, Result};
+
+/// One edge layer's parameters.
+#[derive(Clone, Debug)]
+pub struct LayerSpec {
+    /// Target mean degree of this layer.
+    pub avg_degree: f64,
+    /// Fraction of intra-cluster edges in this layer.
+    pub homophily: f64,
+}
+
+/// Specification of a multiplex benchmark.
+#[derive(Clone, Debug)]
+pub struct MultiplexSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of clusters.
+    pub num_classes: usize,
+    /// Feature dimensionality.
+    pub num_features: usize,
+    /// Words activated per node.
+    pub words_per_node: usize,
+    /// Own-topic probability per word.
+    pub topic_purity: f64,
+    /// The edge layers.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// Generate a multiplex attributed graph.
+pub fn multiplex_like(spec: &MultiplexSpec, seed: u64) -> Result<MultiplexGraph> {
+    if spec.layers.is_empty() {
+        return Err(Error::BadSpec("multiplex needs at least one layer"));
+    }
+    if spec.num_classes == 0 || spec.num_nodes < spec.num_classes * 2 {
+        return Err(Error::BadSpec("need at least two nodes per class"));
+    }
+    for l in &spec.layers {
+        if !(0.0..=1.0).contains(&l.homophily) || l.avg_degree <= 0.0 {
+            return Err(Error::BadSpec("bad layer parameters"));
+        }
+    }
+    let mut rng = Rng64::seed_from_u64(seed);
+    let n = spec.num_nodes;
+    let k = spec.num_classes;
+
+    // Shared labels, balanced then shuffled.
+    let mut labels: Vec<usize> = (0..n).map(|i| (i * k) / n).collect();
+    rng.shuffle(&mut labels);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        members[l].push(i);
+    }
+    let weights: Vec<f64> = members.iter().map(|m| m.len() as f64).collect();
+
+    // Edge layers.
+    let mut layers = Vec::with_capacity(spec.layers.len());
+    for lspec in &spec.layers {
+        let target = ((lspec.avg_degree * n as f64) / 2.0).round() as usize;
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut attempts = 0;
+        while edges.len() < target && attempts < target * 60 {
+            attempts += 1;
+            let (u, v) = if rng.bernoulli(lspec.homophily) {
+                let c = rng.categorical(&weights);
+                if members[c].len() < 2 {
+                    continue;
+                }
+                (
+                    members[c][rng.index(members[c].len())],
+                    members[c][rng.index(members[c].len())],
+                )
+            } else {
+                let c1 = rng.categorical(&weights);
+                let mut w2 = weights.clone();
+                w2[c1] = 0.0;
+                let c2 = rng.categorical(&w2);
+                (
+                    members[c1][rng.index(members[c1].len())],
+                    members[c2][rng.index(members[c2].len())],
+                )
+            };
+            if u != v {
+                edges.insert(if u < v { (u, v) } else { (v, u) });
+            }
+        }
+        let edge_vec: Vec<(usize, usize)> = edges.into_iter().collect();
+        layers.push(
+            rgae_linalg::Csr::adjacency_from_edges(n, &edge_vec)
+                .expect("endpoints in range"),
+        );
+    }
+
+    // Shared sparse bag-of-words features.
+    let j = spec.num_features.max(k);
+    let topic = j / k;
+    let mut x = Mat::zeros(n, j);
+    for i in 0..n {
+        let c = labels[i];
+        let lo = c * topic;
+        let hi = if c == k - 1 { j } else { (c + 1) * topic };
+        for _ in 0..spec.words_per_node {
+            let w = if rng.bernoulli(spec.topic_purity) {
+                lo + rng.index(hi - lo)
+            } else {
+                rng.index(j)
+            };
+            x[(i, w)] = 1.0;
+        }
+    }
+    let x = x.row_l2_normalized();
+
+    Ok(MultiplexGraph::new(spec.name.clone(), layers, x, labels, k)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgae_graph::edge_homophily;
+
+    fn spec() -> MultiplexSpec {
+        MultiplexSpec {
+            name: "mx-test".into(),
+            num_nodes: 200,
+            num_classes: 4,
+            num_features: 80,
+            words_per_node: 10,
+            topic_purity: 0.7,
+            layers: vec![
+                LayerSpec {
+                    avg_degree: 4.0,
+                    homophily: 0.85,
+                },
+                LayerSpec {
+                    avg_degree: 3.0,
+                    homophily: 0.55,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn layers_match_their_homophily() {
+        let g = multiplex_like(&spec(), 1).unwrap();
+        assert_eq!(g.num_layers(), 2);
+        let h0 = edge_homophily(&g.layers()[0], g.labels());
+        let h1 = edge_homophily(&g.layers()[1], g.labels());
+        assert!((h0 - 0.85).abs() < 0.08, "layer0 {h0}");
+        assert!((h1 - 0.55).abs() < 0.08, "layer1 {h1}");
+    }
+
+    #[test]
+    fn union_is_denser_than_any_layer() {
+        let g = multiplex_like(&spec(), 2).unwrap();
+        let u = g.union_adjacency();
+        assert!(u.nnz() >= g.layers()[0].nnz());
+        assert!(u.nnz() >= g.layers()[1].nnz());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = multiplex_like(&spec(), 3).unwrap();
+        let b = multiplex_like(&spec(), 3).unwrap();
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.layers()[1].upper_edges(), b.layers()[1].upper_edges());
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let mut s = spec();
+        s.layers.clear();
+        assert!(multiplex_like(&s, 0).is_err());
+        let mut s = spec();
+        s.layers[0].homophily = 2.0;
+        assert!(multiplex_like(&s, 0).is_err());
+        let mut s = spec();
+        s.num_nodes = 3;
+        assert!(multiplex_like(&s, 0).is_err());
+    }
+}

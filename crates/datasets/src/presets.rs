@@ -1,0 +1,175 @@
+//! Named benchmark presets, calibrated against the published statistics of
+//! the paper's six datasets.
+//!
+//! | preset          | real dataset | real N / |E| / J / K | default scale here |
+//! |-----------------|--------------|-----------------------|--------------------|
+//! | `cora_like`     | Cora         | 2708 / 5429 / 1433 / 7 | N=1200, J=420      |
+//! | `citeseer_like` | Citeseer     | 3327 / 4732 / 3703 / 6 | N=1000, J=480      |
+//! | `pubmed_like`   | Pubmed       | 19717 / 44338 / 500 / 3 | N=1800, J=300     |
+//! | `usa_air_like`  | USA air      | 1190 / 13599 / — / 4   | N=600              |
+//! | `europe_air_like` | Europe air | 399 / 5995 / — / 4     | N=400              |
+//! | `brazil_air_like` | Brazil air | 131 / 1038 / — / 4     | N=131              |
+//!
+//! Sizes are reduced because the GAE decoder is dense `N×N`; the *relative*
+//! structure (homophily, degree shape, K, feature sparsity, class balance)
+//! is preserved. Every constructor takes a `scale` in `(0, 1]` applied to
+//! the node count, so `--quick` runs can shrink further and a machine with
+//! time to burn can raise it.
+
+use rgae_graph::AttributedGraph;
+
+use crate::{air_traffic_like, citation_like, AirTrafficSpec, CitationSpec, Result};
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(40)
+}
+
+/// Cora-like: 7 balanced-ish topic clusters, homophily ≈ 0.81.
+pub fn cora_like(scale: f64, seed: u64) -> Result<AttributedGraph> {
+    citation_like(
+        &CitationSpec {
+            name: "cora-like".into(),
+            num_nodes: scaled(1200, scale),
+            num_classes: 7,
+            num_features: 420,
+            avg_degree: 4.0,
+            homophily: 0.76,
+            degree_power: 2.6,
+            words_per_node: 14,
+            topic_purity: 0.38,
+            class_proportions: vec![1.5, 1.2, 1.5, 0.9, 1.0, 0.9, 0.7],
+        },
+        seed,
+    )
+}
+
+/// Citeseer-like: 6 clusters, sparser and less homophilous than Cora.
+pub fn citeseer_like(scale: f64, seed: u64) -> Result<AttributedGraph> {
+    citation_like(
+        &CitationSpec {
+            name: "citeseer-like".into(),
+            num_nodes: scaled(1000, scale),
+            num_classes: 6,
+            num_features: 480,
+            avg_degree: 2.8,
+            homophily: 0.74,
+            degree_power: 2.8,
+            words_per_node: 12,
+            topic_purity: 0.38,
+            class_proportions: vec![1.2, 1.4, 1.2, 1.0, 0.8, 0.7],
+        },
+        seed,
+    )
+}
+
+/// Pubmed-like: 3 large clusters, denser features, reduced from N=19717.
+pub fn pubmed_like(scale: f64, seed: u64) -> Result<AttributedGraph> {
+    citation_like(
+        &CitationSpec {
+            name: "pubmed-like".into(),
+            num_nodes: scaled(1800, scale),
+            num_classes: 3,
+            num_features: 300,
+            avg_degree: 4.5,
+            homophily: 0.71,
+            degree_power: 2.4,
+            words_per_node: 16,
+            topic_purity: 0.38,
+            class_proportions: vec![1.0, 1.9, 2.0],
+        },
+        seed,
+    )
+}
+
+/// USA-air-like: 4 activity tiers, reduced from N=1190.
+pub fn usa_air_like(scale: f64, seed: u64) -> Result<AttributedGraph> {
+    air_traffic_like(
+        &AirTrafficSpec {
+            name: "usa-air-like".into(),
+            num_nodes: scaled(600, scale),
+            num_classes: 4,
+            base_degree: 2.5,
+            tier_ratio: 2.4,
+            degree_jitter: 0.45,
+            degree_bins: 96,
+        },
+        seed,
+    )
+}
+
+/// Europe-air-like: 4 tiers, denser than USA.
+pub fn europe_air_like(scale: f64, seed: u64) -> Result<AttributedGraph> {
+    air_traffic_like(
+        &AirTrafficSpec {
+            name: "europe-air-like".into(),
+            num_nodes: scaled(400, scale),
+            num_classes: 4,
+            base_degree: 3.5,
+            tier_ratio: 2.2,
+            degree_jitter: 0.40,
+            degree_bins: 96,
+        },
+        seed,
+    )
+}
+
+/// Brazil-air-like: the smallest benchmark, kept at its true size N=131.
+pub fn brazil_air_like(scale: f64, seed: u64) -> Result<AttributedGraph> {
+    air_traffic_like(
+        &AirTrafficSpec {
+            name: "brazil-air-like".into(),
+            num_nodes: scaled(131, scale),
+            num_classes: 4,
+            base_degree: 3.0,
+            tier_ratio: 2.0,
+            degree_jitter: 0.35,
+            degree_bins: 64,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgae_graph::edge_homophily;
+
+    #[test]
+    fn citation_presets_build_and_calibrate() {
+        for (g, expect_h) in [
+            (cora_like(0.5, 1).unwrap(), 0.76),
+            (citeseer_like(0.5, 1).unwrap(), 0.74),
+            (pubmed_like(0.5, 1).unwrap(), 0.71),
+        ] {
+            let h = edge_homophily(g.adjacency(), g.labels());
+            assert!((h - expect_h).abs() < 0.08, "{}: homophily {h}", g.name());
+            assert!(g.num_edges() > g.num_nodes(), "{} too sparse", g.name());
+        }
+    }
+
+    #[test]
+    fn air_presets_build() {
+        for g in [
+            usa_air_like(1.0, 1).unwrap(),
+            europe_air_like(1.0, 1).unwrap(),
+            brazil_air_like(1.0, 1).unwrap(),
+        ] {
+            assert_eq!(g.num_classes(), 4);
+            assert!(g.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn scale_shrinks_node_count() {
+        let full = cora_like(1.0, 1).unwrap();
+        let half = cora_like(0.5, 1).unwrap();
+        assert_eq!(full.num_nodes(), 1200);
+        assert_eq!(half.num_nodes(), 600);
+    }
+
+    #[test]
+    fn scale_floor_applies() {
+        let tiny = brazil_air_like(0.01, 1).unwrap();
+        assert_eq!(tiny.num_nodes(), 40);
+    }
+}

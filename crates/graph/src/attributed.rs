@@ -1,0 +1,225 @@
+//! The attributed graph 𝒢 = (𝒱, ℰ, X) of the paper's §2.
+
+use rgae_linalg::{Csr, Mat};
+
+use crate::{Error, Result};
+
+/// A non-directed attributed graph with optional ground-truth labels.
+///
+/// * `adjacency` — binary symmetric CSR, no self-loops;
+/// * `features` — the `N×J` node-feature matrix `X`;
+/// * `labels` — ground-truth cluster per node (the paper's supervision
+///   signal, used only for evaluation and for the Λ diagnostics);
+/// * `num_classes` — `K`.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    adjacency: Csr,
+    features: Mat,
+    labels: Vec<usize>,
+    num_classes: usize,
+    name: String,
+}
+
+impl AttributedGraph {
+    /// Assemble and validate a graph.
+    pub fn new(
+        name: impl Into<String>,
+        adjacency: Csr,
+        features: Mat,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self> {
+        let n = adjacency.rows();
+        if adjacency.cols() != n {
+            return Err(Error::Invalid("adjacency must be square"));
+        }
+        if features.rows() != n {
+            return Err(Error::Invalid("features rows != num nodes"));
+        }
+        if labels.len() != n {
+            return Err(Error::Invalid("labels len != num nodes"));
+        }
+        if num_classes == 0 || labels.iter().any(|&l| l >= num_classes) {
+            return Err(Error::Invalid("label out of range"));
+        }
+        for (i, j, v) in adjacency.iter() {
+            if i == j {
+                return Err(Error::Invalid("adjacency has a self-loop"));
+            }
+            if v != 1.0 {
+                return Err(Error::Invalid("adjacency must be binary"));
+            }
+            if !adjacency.contains(j, i) {
+                return Err(Error::Invalid("adjacency must be symmetric"));
+            }
+        }
+        Ok(AttributedGraph {
+            adjacency,
+            features,
+            labels,
+            num_classes,
+            name: name.into(),
+        })
+    }
+
+    /// Build from an undirected edge list.
+    pub fn from_edges(
+        name: impl Into<String>,
+        n: usize,
+        edges: &[(usize, usize)],
+        features: Mat,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self> {
+        let adjacency = Csr::adjacency_from_edges(n, edges)?;
+        Self::new(name, adjacency, features, labels, num_classes)
+    }
+
+    /// Human-readable dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.rows()
+    }
+
+    /// Number of undirected edges `|ℰ|`.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.nnz() / 2
+    }
+
+    /// Feature dimensionality `J`.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of ground-truth clusters `K`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The binary symmetric adjacency `A`.
+    pub fn adjacency(&self) -> &Csr {
+        &self.adjacency
+    }
+
+    /// The feature matrix `X`.
+    pub fn features(&self) -> &Mat {
+        &self.features
+    }
+
+    /// Ground-truth labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The GCN filter `Ã = D̂^{-1/2}(A + I)D̂^{-1/2}`.
+    pub fn gcn_filter(&self) -> Csr {
+        self.adjacency
+            .gcn_normalized()
+            .expect("validated square adjacency")
+    }
+
+    /// Replace the feature matrix (used by corruption utilities).
+    pub fn with_features(mut self, features: Mat) -> Result<Self> {
+        if features.rows() != self.num_nodes() {
+            return Err(Error::Invalid("features rows != num nodes"));
+        }
+        self.features = features;
+        Ok(self)
+    }
+
+    /// Replace the adjacency (used by corruption utilities and Υ).
+    pub fn with_adjacency(mut self, adjacency: Csr) -> Result<Self> {
+        if adjacency.rows() != self.num_nodes() || adjacency.cols() != self.num_nodes() {
+            return Err(Error::Invalid("adjacency shape mismatch"));
+        }
+        self.adjacency = adjacency;
+        Ok(self)
+    }
+
+    /// Row-normalise features to unit Euclidean norm (the paper normalises
+    /// `X` this way for all datasets).
+    pub fn with_row_normalized_features(mut self) -> Self {
+        self.features = self.features.row_l2_normalized();
+        self
+    }
+
+    /// The undirected edge list (i < j).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.adjacency.upper_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> AttributedGraph {
+        let x = Mat::from_vec(4, 2, vec![1.0, 0.0, 1.0, 0.1, 0.0, 1.0, 0.1, 1.0]).unwrap();
+        AttributedGraph::from_edges("toy", 4, &[(0, 1), (2, 3), (1, 2)], x, vec![0, 0, 1, 1], 2)
+            .unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_features(), 2);
+        assert_eq!(g.num_classes(), 2);
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        let x = Mat::zeros(2, 1);
+        assert!(AttributedGraph::from_edges("bad", 2, &[], x, vec![0, 2], 2).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_feature_rows() {
+        let x = Mat::zeros(3, 1);
+        assert!(AttributedGraph::from_edges("bad", 2, &[], x, vec![0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn rejects_asymmetric_adjacency() {
+        let a = Csr::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        let x = Mat::zeros(2, 1);
+        assert!(AttributedGraph::new("bad", a, x, vec![0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        let x = Mat::zeros(2, 1);
+        assert!(AttributedGraph::new("bad", a, x, vec![0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn gcn_filter_shape_and_self_loops() {
+        let g = toy();
+        let f = g.gcn_filter();
+        assert_eq!(f.rows(), 4);
+        for i in 0..4 {
+            assert!(f.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn row_normalized_features_unit_norm() {
+        let g = toy().with_row_normalized_features();
+        for i in 0..g.num_nodes() {
+            let n: f64 = g.features().row(i).iter().map(|&v| v * v).sum();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edges_upper_triangle() {
+        let g = toy();
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Attributed graphs: representation, GCN normalisation, structural edits,
+//! and the §3 reference graphs (clustering graph A^clus, supervision graph
+//! A^sup) of the reproduced paper.
+
+// Indexed loops over parallel buffers are the idiom throughout this
+// numeric codebase; iterator rewrites obscure the index coupling.
+#![allow(clippy::needless_range_loop)]
+
+mod attributed;
+mod edits;
+mod multiplex;
+mod reference;
+mod stats;
+
+pub use attributed::AttributedGraph;
+pub use edits::{apply_edits, EditSet};
+pub use multiplex::MultiplexGraph;
+pub use reference::{clustering_graph, membership_graph, supervision_graph};
+pub use stats::{edge_homophily, intra_inter_edges, GraphStats};
+
+/// Errors produced while constructing or editing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Underlying linear-algebra error.
+    Linalg(rgae_linalg::Error),
+    /// Construction invariant violated.
+    Invalid(&'static str),
+}
+
+impl From<rgae_linalg::Error> for Error {
+    fn from(e: rgae_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linalg error: {e}"),
+            Error::Invalid(m) => write!(f, "invalid graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,89 @@
+//! The reference graphs of the paper's §3.
+//!
+//! * the **clustering graph** `A^clus` — `a_ij = 1/|C_k|` when `i, j` share
+//!   predicted cluster `k`, else 0;
+//! * the **supervision graph** `A^sup` — same but over ground-truth clusters.
+//!
+//! Both are normalised by definition (Proposition 2's derivation divides by
+//! the cluster cardinality). They are dense in principle but block-diagonal
+//! up to permutation, so we materialise them as CSR.
+
+use rgae_linalg::Csr;
+
+/// `A^clus` (or `A^sup`) from an assignment vector: `a_ij = 1/|C_k|` iff
+/// `assign[i] == assign[j] == k`. Includes the diagonal, matching the
+/// derivation of Proposition 2 where the sum runs over all pairs in the
+/// cluster.
+pub fn membership_graph(assign: &[usize], num_clusters: usize) -> Csr {
+    let n = assign.len();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+    for (i, &k) in assign.iter().enumerate() {
+        members[k].push(i);
+    }
+    let mut triplets = Vec::new();
+    for cluster in &members {
+        if cluster.is_empty() {
+            continue;
+        }
+        let w = 1.0 / cluster.len() as f64;
+        for &i in cluster {
+            for &j in cluster {
+                triplets.push((i, j, w));
+            }
+        }
+    }
+    Csr::from_triplets(n, n, &triplets).expect("indices in range by construction")
+}
+
+/// The clustering graph `A^clus` built from *predicted* assignments.
+pub fn clustering_graph(predicted: &[usize], num_clusters: usize) -> Csr {
+    membership_graph(predicted, num_clusters)
+}
+
+/// The supervision graph `A^sup` built from *ground-truth* labels.
+pub fn supervision_graph(labels: &[usize], num_clusters: usize) -> Csr {
+    membership_graph(labels, num_clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_graph_weights() {
+        // Clusters {0,1,2} and {3}.
+        let g = membership_graph(&[0, 0, 0, 1], 2);
+        let w = 1.0 / 3.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g.get(i, j) - w).abs() < 1e-12);
+            }
+        }
+        assert!((g.get(3, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(g.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        // Each row of A^clus sums to |C_k| · 1/|C_k| = 1.
+        let g = membership_graph(&[0, 1, 0, 1, 1], 2);
+        for i in 0..5 {
+            let s: f64 = g.row_values(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_cluster_is_fine() {
+        let g = membership_graph(&[0, 0], 3);
+        assert_eq!(g.nnz(), 4);
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = membership_graph(&[0, 1, 1, 0, 2], 3);
+        for (i, j, v) in g.iter() {
+            assert!((g.get(j, i) - v).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Graph statistics used in the figures (Fig. 4 and Fig. 9d–f) and in the
+//! synthetic-dataset calibration tests.
+
+use rgae_linalg::Csr;
+
+/// Summary statistics of a (possibly edited) self-supervision graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Edges whose endpoints share a label ("true links" in Fig. 9).
+    pub true_links: usize,
+    /// Edges whose endpoints have different labels ("false links").
+    pub false_links: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated nodes.
+    pub isolated: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics of a binary symmetric adjacency against labels.
+    pub fn compute(adjacency: &Csr, labels: &[usize]) -> Self {
+        assert_eq!(adjacency.rows(), labels.len());
+        let mut true_links = 0;
+        let mut false_links = 0;
+        let mut max_degree = 0;
+        let mut isolated = 0;
+        let mut total_degree = 0usize;
+        for i in 0..adjacency.rows() {
+            let deg = adjacency.row_indices(i).len();
+            total_degree += deg;
+            max_degree = max_degree.max(deg);
+            if deg == 0 {
+                isolated += 1;
+            }
+            for (j, _) in adjacency.row_iter(i) {
+                if i < j {
+                    if labels[i] == labels[j] {
+                        true_links += 1;
+                    } else {
+                        false_links += 1;
+                    }
+                }
+            }
+        }
+        let n = adjacency.rows().max(1);
+        GraphStats {
+            num_edges: true_links + false_links,
+            true_links,
+            false_links,
+            mean_degree: total_degree as f64 / n as f64,
+            max_degree,
+            isolated,
+        }
+    }
+}
+
+/// Edge homophily: fraction of edges whose endpoints share a label.
+pub fn edge_homophily(adjacency: &Csr, labels: &[usize]) -> f64 {
+    let s = GraphStats::compute(adjacency, labels);
+    if s.num_edges == 0 {
+        0.0
+    } else {
+        s.true_links as f64 / s.num_edges as f64
+    }
+}
+
+/// `(intra, inter)` undirected edge counts with respect to labels.
+pub fn intra_inter_edges(adjacency: &Csr, labels: &[usize]) -> (usize, usize) {
+    let s = GraphStats::compute(adjacency, labels);
+    (s.true_links, s.false_links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_two_triangles_with_bridge() {
+        // Triangle {0,1,2} labelled 0, triangle {3,4,5} labelled 1, bridge
+        // 2-3.
+        let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        let a = Csr::adjacency_from_edges(6, &edges).unwrap();
+        let labels = [0, 0, 0, 1, 1, 1];
+        let s = GraphStats::compute(&a, &labels);
+        assert_eq!(s.num_edges, 7);
+        assert_eq!(s.true_links, 6);
+        assert_eq!(s.false_links, 1);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.isolated, 0);
+        assert!((edge_homophily(&a, &labels) - 6.0 / 7.0).abs() < 1e-12);
+        assert_eq!(intra_inter_edges(&a, &labels), (6, 1));
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let a = Csr::adjacency_from_edges(4, &[(0, 1)]).unwrap();
+        let s = GraphStats::compute(&a, &[0, 0, 1, 1]);
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.num_edges, 1);
+    }
+
+    #[test]
+    fn empty_graph_homophily_zero() {
+        let a = Csr::adjacency_from_edges(3, &[]).unwrap();
+        assert_eq!(edge_homophily(&a, &[0, 1, 2]), 0.0);
+    }
+}

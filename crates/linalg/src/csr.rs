@@ -1,0 +1,450 @@
+//! Compressed-sparse-row matrices for graph adjacencies and filters.
+
+use crate::{Error, Mat, Result};
+
+/// A `(row, col, value)` entry used to build a [`Csr`].
+pub type Triplet = (usize, usize, f64);
+
+/// A compressed-sparse-row `f64` matrix.
+///
+/// Invariants (checked on construction, maintained by every method):
+/// * `indptr.len() == rows + 1`, `indptr[0] == 0`,
+///   `indptr[rows] == indices.len() == data.len()`;
+/// * column indices within each row are strictly increasing and `< cols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// An empty (all-zero) sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Build from triplets. Duplicate `(row, col)` entries are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[Triplet]) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(Error::BadConstruction("triplet index out of bounds"));
+            }
+        }
+        // Bucket per row, then sort + merge duplicates per row.
+        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            buckets[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut data = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        for bucket in &mut buckets {
+            bucket.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < bucket.len() {
+                let c = bucket[k].0;
+                let mut v = 0.0;
+                while k < bucket.len() && bucket[k].0 == c {
+                    v += bucket[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    indices.push(c);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Build a binary symmetric adjacency from undirected edges (no
+    /// self-loops added; duplicate / reversed duplicates are collapsed to 1).
+    pub fn adjacency_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut triplets = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            if u >= n || v >= n {
+                return Err(Error::BadConstruction("edge endpoint out of bounds"));
+            }
+            if u == v {
+                continue;
+            }
+            triplets.push((u, v, 1.0));
+            triplets.push((v, u, 1.0));
+        }
+        let mut a = Csr::from_triplets(n, n, &triplets)?;
+        // Collapse summed duplicates back to binary weights.
+        for v in &mut a.data {
+            *v = 1.0;
+        }
+        Ok(a)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_indices(&self, i: usize) -> &[usize] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i` (parallel to [`Csr::row_indices`]).
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.data[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Iterate `(col, value)` over row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.row_indices(i)
+            .iter()
+            .copied()
+            .zip(self.row_values(i).iter().copied())
+    }
+
+    /// Iterate all `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| self.row_iter(i).map(move |(j, v)| (i, j, v)))
+    }
+
+    /// Value at `(i, j)` (0 when not stored). Binary search within the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        match self.row_indices(i).binary_search(&j) {
+            Ok(pos) => self.row_values(i)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Whether a structural non-zero exists at `(i, j)`.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.row_indices(i).binary_search(&j).is_ok()
+    }
+
+    /// Row sums (weighted degrees for an adjacency).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row_values(i).iter().sum())
+            .collect()
+    }
+
+    /// Sparse × dense product → dense.
+    pub fn spmm(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows() {
+            return Err(Error::ShapeMismatch {
+                op: "spmm",
+                lhs: (self.rows, self.cols),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols());
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                let b_row = rhs.row(j);
+                let o_row = out.row_mut(i);
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += v * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse × dense product: `selfᵀ * rhs` → dense.
+    pub fn t_spmm(&self, rhs: &Mat) -> Result<Mat> {
+        if self.rows != rhs.rows() {
+            return Err(Error::ShapeMismatch {
+                op: "t_spmm",
+                lhs: (self.cols, self.rows),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.cols, rhs.cols());
+        for i in 0..self.rows {
+            let b_row = rhs.row(i);
+            for (j, v) in self.row_iter(i) {
+                let o_row = out.row_mut(j);
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += v * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Csr {
+        let triplets: Vec<Triplet> = self.iter().map(|(i, j, v)| (j, i, v)).collect();
+        Csr::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose of a valid CSR is valid")
+    }
+
+    /// Densify.
+    pub fn to_dense(&self) -> Mat {
+        let mut out = Mat::zeros(self.rows, self.cols);
+        for (i, j, v) in self.iter() {
+            out[(i, j)] = v;
+        }
+        out
+    }
+
+    /// Scale every stored value by `s`.
+    pub fn scale(&self, s: f64) -> Csr {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Symmetric GCN normalisation with self-loops:
+    /// `Ã = D̂^{-1/2} (A + I) D̂^{-1/2}` where `D̂` is the degree matrix of
+    /// `A + I`. Expects a square matrix.
+    pub fn gcn_normalized(&self) -> Result<Csr> {
+        if self.rows != self.cols {
+            return Err(Error::BadConstruction("gcn_normalized needs square"));
+        }
+        let n = self.rows;
+        let mut triplets: Vec<Triplet> = self.iter().collect();
+        for i in 0..n {
+            triplets.push((i, i, 1.0));
+        }
+        let with_loops = Csr::from_triplets(n, n, &triplets)?;
+        Ok(with_loops.sym_normalized())
+    }
+
+    /// Symmetric normalisation without adding self-loops:
+    /// `D^{-1/2} A D^{-1/2}`. Zero-degree rows stay zero.
+    pub fn sym_normalized(&self) -> Csr {
+        let deg = self.row_sums();
+        let inv_sqrt: Vec<f64> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let (start, end) = (out.indptr[i], out.indptr[i + 1]);
+            for k in start..end {
+                let j = out.indices[k];
+                out.data[k] *= inv_sqrt[i] * inv_sqrt[j];
+            }
+        }
+        out
+    }
+
+    /// Row-stochastic normalisation `D^{-1} A`. Zero-degree rows stay zero.
+    pub fn row_normalized(&self) -> Csr {
+        let deg = self.row_sums();
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            if deg[i] <= 0.0 {
+                continue;
+            }
+            let (start, end) = (out.indptr[i], out.indptr[i + 1]);
+            for k in start..end {
+                out.data[k] /= deg[i];
+            }
+        }
+        out
+    }
+
+    /// Upper-triangle edge list `(i < j)` of a square symmetric matrix.
+    pub fn upper_edges(&self) -> Vec<(usize, usize)> {
+        self.iter()
+            .filter(|&(i, j, _)| i < j)
+            .map(|(i, j, _)| (i, j))
+            .collect()
+    }
+
+    /// Verify internal invariants; used by tests and `debug_assert!`s.
+    pub fn check_invariants(&self) -> bool {
+        if self.indptr.len() != self.rows + 1 || self.indptr[0] != 0 {
+            return false;
+        }
+        if *self.indptr.last().unwrap() != self.indices.len()
+            || self.indices.len() != self.data.len()
+        {
+            return false;
+        }
+        for i in 0..self.rows {
+            if self.indptr[i] > self.indptr[i + 1] {
+                return false;
+            }
+            let idx = self.row_indices(i);
+            for w in idx.windows(2) {
+                if w[0] >= w[1] {
+                    return false;
+                }
+            }
+            if idx.iter().any(|&c| c >= self.cols) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [[0 1 0]
+        //  [1 0 2]
+        //  [0 2 0]]
+        Csr::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_sums_duplicates() {
+        let c = Csr::from_triplets(2, 2, &[(0, 1, 1.0), (0, 0, 2.0), (0, 1, 3.0)]).unwrap();
+        assert!(c.check_invariants());
+        assert_eq!(c.row_indices(0), &[0, 1]);
+        assert_eq!(c.row_values(0), &[2.0, 4.0]);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn from_triplets_drops_cancelled_entries() {
+        let c = Csr::from_triplets(1, 2, &[(0, 0, 1.0), (0, 0, -1.0)]).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        assert!(Csr::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(Csr::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn adjacency_from_edges_symmetric_binary() {
+        let a = Csr::adjacency_from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 3)]).unwrap();
+        assert!(a.check_invariants());
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(2, 3), 1.0);
+        assert_eq!(a.get(3, 3), 0.0, "self-loop skipped");
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn get_and_contains() {
+        let c = small();
+        assert_eq!(c.get(1, 2), 2.0);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert!(c.contains(0, 1));
+        assert!(!c.contains(0, 2));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let c = small();
+        let x = Mat::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let dense = c.to_dense().matmul(&x).unwrap();
+        let sparse = c.spmm(&x).unwrap();
+        assert!(dense.max_abs_diff(&sparse) < 1e-12);
+    }
+
+    #[test]
+    fn t_spmm_matches_dense() {
+        let c = Csr::from_triplets(2, 3, &[(0, 1, 1.0), (1, 2, 4.0), (0, 0, -2.0)]).unwrap();
+        let x = Mat::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        let dense = c.to_dense().transpose().matmul(&x).unwrap();
+        let sparse = c.t_spmm(&x).unwrap();
+        assert!(dense.max_abs_diff(&sparse) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let c = Csr::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, -1.0)]).unwrap();
+        let t = c.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.transpose(), c);
+    }
+
+    #[test]
+    fn sym_normalized_row_sums() {
+        // A path graph 0-1-2: after D^-1/2 A D^-1/2 the (0,1) entry is
+        // 1/sqrt(1*2).
+        let a = Csr::adjacency_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let n = a.sym_normalized();
+        assert!((n.get(0, 1) - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((n.get(1, 2) - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gcn_normalized_has_self_loops_and_symmetry() {
+        let a = Csr::adjacency_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let n = a.gcn_normalized().unwrap();
+        for i in 0..3 {
+            assert!(n.get(i, i) > 0.0);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((n.get(i, j) - n.get(j, i)).abs() < 1e-12);
+            }
+        }
+        // Isolated-node handling: a node with only its self-loop gets Ã_ii=1.
+        let iso = Csr::adjacency_from_edges(2, &[]).unwrap();
+        let ni = iso.gcn_normalized().unwrap();
+        assert!((ni.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_normalized_is_stochastic() {
+        let a = Csr::adjacency_from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let r = a.row_normalized();
+        for i in 0..3 {
+            let s: f64 = r.row_values(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_edges_only_upper() {
+        let a = Csr::adjacency_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let e = a.upper_edges();
+        assert_eq!(e, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn zeros_is_valid() {
+        let z = Csr::zeros(3, 4);
+        assert!(z.check_invariants());
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.get(2, 3), 0.0);
+    }
+}

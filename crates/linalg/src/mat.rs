@@ -1,0 +1,732 @@
+//! Dense row-major matrix and its kernels.
+
+use crate::{Error, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// The storage is a flat `Vec<f64>` of length `rows * cols`; element `(i, j)`
+/// lives at index `i * cols + j`. Rows are the natural unit of access for
+/// every algorithm in this workspace (nodes of a graph), so row views are
+/// cheap slices.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Mat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for i in 0..show {
+            let row = self.row(i);
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
+        }
+        if self.rows > show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Mat {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::BadConstruction("buffer length != rows*cols"));
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Build from nested rows. All rows must share one length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(Error::BadConstruction("ragged rows"));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Mat { rows: r, cols: c, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// A new matrix containing the selected rows, in order.
+    pub fn select_rows(&self, idx: &[usize]) -> Mat {
+        let mut out = Mat::zeros(idx.len(), self.cols);
+        for (k, &i) in idx.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Dense matrix product `self * rhs`.
+    ///
+    /// Uses the cache-friendly `ikj` loop order: the inner loop streams one
+    /// row of `rhs` and one row of the output.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * rhsᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.cols {
+            return Err(Error::ShapeMismatch {
+                op: "matmul_t",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ * rhs` without materialising the transpose.
+    pub fn t_matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.rows != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                op: "t_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The Gram matrix `self * selfᵀ` (the GAE inner-product decoder logits).
+    ///
+    /// Exploits symmetry: only the upper triangle is computed.
+    pub fn gram(&self) -> Mat {
+        let n = self.rows;
+        let mut out = Mat::zeros(n, n);
+        for i in 0..n {
+            let zi = self.row(i);
+            for j in i..n {
+                let zj = self.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in zi.iter().zip(zj.iter()) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+                out[(j, i)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Elementwise binary map into a new matrix.
+    pub fn zip_map(&self, rhs: &Mat, f: impl Fn(f64, f64) -> f64) -> Result<Mat> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::ShapeMismatch {
+                op: "zip_map",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise unary map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn hadamard(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_map(rhs, |a, b| a * b)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> Mat {
+        self.map(|a| a * s)
+    }
+
+    /// In-place `self += s * rhs`.
+    pub fn axpy(&mut self, s: f64, rhs: &Mat) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += s * b;
+        }
+        Ok(())
+    }
+
+    /// Add a row vector (broadcast over rows), e.g. a bias.
+    pub fn add_row_broadcast(&self, bias: &[f64]) -> Result<Mat> {
+        if bias.len() != self.cols {
+            return Err(Error::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: (1, bias.len()),
+            });
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            for (o, &b) in out.row_mut(i).iter_mut().zip(bias.iter()) {
+                *o += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Sum along rows → one value per row.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
+    }
+
+    /// Sum along columns → one value per column.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean of each column.
+    pub fn col_means(&self) -> Vec<f64> {
+        let n = self.rows.max(1) as f64;
+        self.col_sums().into_iter().map(|s| s / n).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared L2 norm of each row.
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|&v| v * v).sum())
+            .collect()
+    }
+
+    /// Normalise each row to unit L2 norm; zero rows are left untouched.
+    pub fn row_l2_normalized(&self) -> Mat {
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let norm: f64 = out.row(i).iter().map(|&v| v * v).sum::<f64>().sqrt();
+            if norm > f64::EPSILON {
+                for v in out.row_mut(i) {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax (numerically stable).
+    pub fn row_softmax(&self) -> Mat {
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let row = out.row_mut(i);
+            let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - mx).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Index of the maximum entry of each row (first wins on ties).
+    pub fn row_argmax(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let mut best = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Squared Euclidean distance between row `i` of `self` and `point`.
+    pub fn row_sq_dist(&self, i: usize, point: &[f64]) -> f64 {
+        self.row(i)
+            .iter()
+            .zip(point.iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Pairwise squared distances between the rows of `self` and rows of
+    /// `centers` → `(self.rows, centers.rows)`.
+    pub fn pairwise_sq_dists(&self, centers: &Mat) -> Result<Mat> {
+        if self.cols != centers.cols {
+            return Err(Error::ShapeMismatch {
+                op: "pairwise_sq_dists",
+                lhs: self.shape(),
+                rhs: centers.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, centers.rows);
+        for i in 0..self.rows {
+            for c in 0..centers.rows {
+                out[(i, c)] = self.row_sq_dist(i, centers.row(c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solve `self · X = B` for a symmetric positive-definite `self` via
+    /// Cholesky factorisation. Returns `Err` when the matrix is not SPD
+    /// (a non-positive pivot appears).
+    pub fn solve_spd(&self, b: &Mat) -> Result<Mat> {
+        let n = self.rows;
+        if self.cols != n || b.rows() != n {
+            return Err(Error::ShapeMismatch {
+                op: "solve_spd",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        // Cholesky: self = L Lᵀ, lower triangular L stored densely.
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(Error::BadConstruction("solve_spd: matrix not SPD"));
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        // Forward substitution L Y = B, then back substitution Lᵀ X = Y.
+        let m = b.cols();
+        let mut y = Mat::zeros(n, m);
+        for i in 0..n {
+            for c in 0..m {
+                let mut sum = b[(i, c)];
+                for k in 0..i {
+                    sum -= l[(i, k)] * y[(k, c)];
+                }
+                y[(i, c)] = sum / l[(i, i)];
+            }
+        }
+        let mut x = Mat::zeros(n, m);
+        for i in (0..n).rev() {
+            for c in 0..m {
+                let mut sum = y[(i, c)];
+                for k in i + 1..n {
+                    sum -= l[(k, i)] * x[(k, c)];
+                }
+                x[(i, c)] = sum / l[(i, i)];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, rhs: &Mat) -> f64 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> Mat {
+        Mat::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 2)], 6.0);
+        assert_eq!(a.row(1), &[4., 5., 6.]);
+        assert_eq!(a.col(1), vec![2., 5.]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(Mat::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Mat::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let i = Mat::eye(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(2, 3, &[1., 0., 1., 0., 2., 0.]);
+        let expect = a.matmul(&b.transpose()).unwrap();
+        assert!(a.matmul_t(&b).unwrap().max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[1., 0., 1., 0., 2., 0.]);
+        let expect = a.transpose().matmul(&b).unwrap();
+        assert!(a.t_matmul(&b).unwrap().max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn gram_matches_matmul_t_self() {
+        let a = m(3, 2, &[1., 2., -3., 4., 0.5, -6.]);
+        let expect = a.matmul_t(&a).unwrap();
+        assert!(a.gram().max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 2, &[10., 20., 30., 40.]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[11., 22., 33., 44.]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[9., 18., 27., 36.]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[10., 40., 90., 160.]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn axpy_works() {
+        let mut a = m(1, 3, &[1., 1., 1.]);
+        let b = m(1, 3, &[1., 2., 3.]);
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.as_slice(), &[3., 5., 7.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.row_sums(), vec![6., 15.]);
+        assert_eq!(a.col_sums(), vec![5., 7., 9.]);
+        assert_eq!(a.col_means(), vec![2.5, 3.5, 4.5]);
+        assert!((a.frob_norm() - 91f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.row_sq_norms(), vec![14., 77.]);
+    }
+
+    #[test]
+    fn row_softmax_rows_sum_to_one() {
+        let a = m(2, 3, &[1., 2., 3., 1000., 1000., 1000.]);
+        let s = a.row_softmax();
+        for i in 0..2 {
+            assert!((s.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        assert!(s.all_finite());
+        // Uniform logits → uniform probabilities.
+        assert!((s[(1, 0)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_argmax_first_wins_ties() {
+        let a = m(2, 3, &[0., 5., 5., 9., 1., 2.]);
+        assert_eq!(a.row_argmax(), vec![1, 0]);
+    }
+
+    #[test]
+    fn row_l2_normalized_unit_rows() {
+        let a = m(2, 2, &[3., 4., 0., 0.]);
+        let n = a.row_l2_normalized();
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-12);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-12);
+        // Zero row untouched.
+        assert_eq!(n.row(1), &[0., 0.]);
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[5., 6., 1., 2.]);
+    }
+
+    #[test]
+    fn pairwise_sq_dists_known() {
+        let x = m(2, 2, &[0., 0., 1., 1.]);
+        let c = m(1, 2, &[1., 0.]);
+        let d = x.pairwise_sq_dists(&c).unwrap();
+        assert_eq!(d.as_slice(), &[1., 1.]);
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        // A = MᵀM + I is SPD.
+        let m_ = m(3, 3, &[1., 2., 0., 0., 1., 1., 2., 0., 1.]);
+        let a = m_.t_matmul(&m_).unwrap().add(&Mat::eye(3)).unwrap();
+        let x_true = m(3, 2, &[1., -2., 0.5, 3., -1., 0.25]);
+        let b = a.matmul(&x_true).unwrap();
+        let x = a.solve_spd(&b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn solve_spd_rejects_indefinite() {
+        let a = m(2, 2, &[0., 1., 1., 0.]);
+        assert!(a.solve_spd(&Mat::eye(2)).is_err());
+    }
+
+    #[test]
+    fn solve_spd_rejects_shape_mismatch() {
+        let a = Mat::eye(3);
+        assert!(a.solve_spd(&Mat::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn add_row_broadcast_bias() {
+        let a = m(2, 2, &[0., 0., 1., 1.]);
+        let b = a.add_row_broadcast(&[1.0, -1.0]).unwrap();
+        assert_eq!(b.as_slice(), &[1., -1., 2., 0.]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use rgae_linalg::{cosine, Csr, Mat, Rng64};
+
+/// Strategy: a small matrix with bounded entries.
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v).unwrap())
+}
+
+/// Strategy: a random sparse square matrix given by triplets.
+fn csr_strategy(n: usize) -> impl Strategy<Value = Csr> {
+    proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..3 * n)
+        .prop_map(move |ts| Csr::from_triplets(n, n, &ts).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(a in mat_strategy(4, 3), b in mat_strategy(3, 5), c in mat_strategy(5, 2)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in mat_strategy(4, 3), b in mat_strategy(3, 2), c in mat_strategy(3, 2)) {
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn transpose_of_product(a in mat_strategy(4, 3), b in mat_strategy(3, 2)) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(a in mat_strategy(5, 3)) {
+        let g = a.gram();
+        for i in 0..5 {
+            prop_assert!(g[(i, i)] >= -1e-12);
+            for j in 0..5 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense(c in csr_strategy(6), x in mat_strategy(6, 4)) {
+        let sparse = c.spmm(&x).unwrap();
+        let dense = c.to_dense().matmul(&x).unwrap();
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-9);
+    }
+
+    #[test]
+    fn t_spmm_agrees_with_dense(c in csr_strategy(6), x in mat_strategy(6, 3)) {
+        let sparse = c.t_spmm(&x).unwrap();
+        let dense = c.to_dense().transpose().matmul(&x).unwrap();
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-9);
+    }
+
+    #[test]
+    fn csr_invariants_hold(c in csr_strategy(8)) {
+        prop_assert!(c.check_invariants());
+        prop_assert!(c.transpose().check_invariants());
+    }
+
+    #[test]
+    fn csr_get_matches_dense(c in csr_strategy(5)) {
+        let d = c.to_dense();
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert_eq!(c.get(i, j), d[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_bounded(a in proptest::collection::vec(-100.0f64..100.0, 8),
+                      b in proptest::collection::vec(-100.0f64..100.0, 8)) {
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&c));
+    }
+
+    #[test]
+    fn cosine_scale_invariant(a in proptest::collection::vec(-10.0f64..10.0, 6), s in 0.1f64..50.0) {
+        let scaled: Vec<f64> = a.iter().map(|&x| x * s).collect();
+        let c1 = cosine(&a, &a);
+        let c2 = cosine(&a, &scaled);
+        prop_assert!((c1 - c2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_softmax_is_distribution(a in mat_strategy(4, 6)) {
+        let s = a.row_softmax();
+        for i in 0..4 {
+            let sum: f64 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn sym_normalized_spectral_radius_bounded(edges in proptest::collection::vec((0usize..10, 0usize..10), 1..30)) {
+        // For a symmetrically normalised adjacency the row sums of |entries|
+        // are ≤ sqrt(d_i)/sqrt(d_i) summed appropriately — in particular each
+        // entry is ≤ 1 and the matrix stays symmetric.
+        let a = Csr::adjacency_from_edges(10, &edges).unwrap();
+        let n = a.sym_normalized();
+        for (i, j, v) in n.iter() {
+            prop_assert!(v <= 1.0 + 1e-12);
+            prop_assert!((n.get(j, i) - v).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn sample_indices_full_permutation() {
+    let mut rng = Rng64::seed_from_u64(23);
+    let mut s = rng.sample_indices(10, 10);
+    s.sort_unstable();
+    assert_eq!(s, (0..10).collect::<Vec<_>>());
+}

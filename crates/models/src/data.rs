@@ -1,0 +1,87 @@
+//! Precomputed per-dataset training context.
+
+use std::rc::Rc;
+
+use rgae_graph::AttributedGraph;
+use rgae_linalg::{Csr, Mat};
+
+/// Everything a training step needs from the dataset, precomputed once:
+/// the GCN filter Ã, the features, the default self-supervision target `A`,
+/// and the BCE class-balance constants the GAE reference implementation
+/// derives from `A`.
+#[derive(Clone)]
+pub struct TrainData {
+    /// The normalised filter `Ã = D̂^{-1/2}(A+I)D̂^{-1/2}`.
+    pub filter: Rc<Csr>,
+    /// Node features `X` (row-normalised upstream).
+    pub features: Mat,
+    /// The original adjacency `A` — the default reconstruction target.
+    pub adjacency: Rc<Csr>,
+    /// `pos_weight = (N² − ΣA) / ΣA`: up-weights the rare positive entries.
+    pub pos_weight: f64,
+    /// `norm = N² / (2 (N² − ΣA))`: the GAE global loss rescaling.
+    pub norm: f64,
+    /// Number of nodes `N`.
+    pub num_nodes: usize,
+    /// Number of clusters `K` the models should form.
+    pub num_classes: usize,
+}
+
+impl TrainData {
+    /// Build from an attributed graph.
+    pub fn from_graph(graph: &AttributedGraph) -> Self {
+        let n = graph.num_nodes();
+        let sum_a = (2 * graph.num_edges()) as f64;
+        let n2 = (n * n) as f64;
+        // Guard the degenerate empty graph (benchmarks never produce one,
+        // corruption sweeps can).
+        let pos_weight = if sum_a > 0.0 { (n2 - sum_a) / sum_a } else { 1.0 };
+        let norm = if n2 - sum_a > 0.0 {
+            n2 / (2.0 * (n2 - sum_a))
+        } else {
+            1.0
+        };
+        TrainData {
+            filter: Rc::new(graph.gcn_filter()),
+            features: graph.features().clone(),
+            adjacency: Rc::new(graph.adjacency().clone()),
+            pos_weight,
+            norm,
+            num_nodes: n,
+            num_classes: graph.num_classes(),
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_gae_reference_formulas() {
+        let x = Mat::zeros(4, 2);
+        let g =
+            AttributedGraph::from_edges("t", 4, &[(0, 1), (1, 2)], x, vec![0, 0, 1, 1], 2)
+                .unwrap();
+        let d = TrainData::from_graph(&g);
+        // N=4, ΣA = 4 (two undirected edges), N² = 16.
+        assert!((d.pos_weight - 12.0 / 4.0).abs() < 1e-12);
+        assert!((d.norm - 16.0 / 24.0).abs() < 1e-12);
+        assert_eq!(d.num_nodes, 4);
+        assert_eq!(d.num_classes, 2);
+    }
+
+    #[test]
+    fn empty_graph_guarded() {
+        let x = Mat::zeros(3, 2);
+        let g = AttributedGraph::from_edges("t", 3, &[], x, vec![0, 1, 0], 2).unwrap();
+        let d = TrainData::from_graph(&g);
+        assert_eq!(d.pos_weight, 1.0);
+        assert!(d.norm.is_finite());
+    }
+}

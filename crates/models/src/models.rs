@@ -1,0 +1,938 @@
+//! The six GAE-based clustering models of the paper's protocol.
+//!
+//! Shared conventions:
+//!
+//! * every model owns its parameters as plain matrices and an internal Adam
+//!   whose slot order matches the canonical parameter order;
+//! * the reconstruction loss is the weighted BCE of the inner-product
+//!   decoder (`Graph::bce_logits_sparse`) with the class-balance constants
+//!   taken from the **original** adjacency — the paper keeps each model's
+//!   original settings when the Υ operator swaps the target graph;
+//! * deterministic gradient accessors ([`crate::GaeModel::clustering_grad`],
+//!   [`crate::GaeModel::recon_grad`]) use the mean embedding for variational
+//!   models so the Λ diagnostics are noise-free.
+
+use std::rc::Rc;
+
+use rgae_autodiff::{Adam, Graph, Var};
+use rgae_cluster::{dec_target_distribution, kmeans, GaussianMixture};
+use rgae_linalg::{standard_normal, Csr, Mat, Rng64};
+
+use crate::encoder::{GcnEncoder, Mlp, VarGcnEncoder};
+use crate::{ClusterStep, Error, GaeModel, Result, StepSpec, TrainData};
+
+/// Default hidden sizes used by every model (Appendix B / GAE reference).
+pub const HIDDEN: usize = 32;
+/// Default latent dimensionality.
+pub const LATENT: usize = 16;
+/// Default learning rate (Appendix B).
+pub const LR: f64 = 0.01;
+
+fn flatten(grads: &[Mat]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(grads.iter().map(|g| g.as_slice().len()).sum());
+    for g in grads {
+        out.extend_from_slice(g.as_slice());
+    }
+    out
+}
+
+/// Collect gradients for `leaves`, substituting zeros when a leaf is not
+/// reached by the loss (e.g. the log-variance head under a clustering-only
+/// loss).
+fn grads_or_zero(g: &Graph, leaves: &[Var]) -> Vec<Mat> {
+    leaves
+        .iter()
+        .map(|&l| match g.grad(l) {
+            Ok(m) => m.clone(),
+            Err(_) => {
+                let (r, c) = g.shape(l);
+                Mat::zeros(r, c)
+            }
+        })
+        .collect()
+}
+
+/// Gather the Ω rows of a target matrix (identity when `omega` is `None`).
+fn gather_target(target: &Mat, omega: Option<&[usize]>) -> Mat {
+    match omega {
+        Some(idx) => target.select_rows(idx),
+        None => target.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GAE
+// ---------------------------------------------------------------------------
+
+/// The plain Graph Auto-Encoder (Kipf & Welling 2016): a two-layer GCN
+/// encoder and an inner-product decoder, trained on reconstruction only.
+/// First-group model: clustering is read out post-hoc.
+#[derive(Clone)]
+pub struct Gae {
+    enc: GcnEncoder,
+    opt: Adam,
+}
+
+impl Gae {
+    /// Standard 32→16 architecture.
+    pub fn new(num_features: usize, rng: &mut Rng64) -> Self {
+        let enc = GcnEncoder::new(&[num_features, HIDDEN, LATENT], rng);
+        let mut opt = Adam::new(LR);
+        for p in enc.params() {
+            opt.register(p.shape());
+        }
+        Gae { enc, opt }
+    }
+}
+
+impl GaeModel for Gae {
+    fn clone_box(&self) -> Box<dyn GaeModel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "GAE"
+    }
+
+    fn embed(&self, data: &TrainData) -> Mat {
+        self.enc.embed(&data.filter, &data.features)
+    }
+
+    fn soft_assignments(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn init_clustering(&mut self, _data: &TrainData, _rng: &mut Rng64) -> Result<()> {
+        Ok(())
+    }
+
+    fn cluster_target(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn train_step(&mut self, data: &TrainData, spec: &StepSpec, _rng: &mut Rng64) -> Result<f64> {
+        if spec.cluster.is_some() {
+            return Err(Error::Invalid("GAE has no clustering head"));
+        }
+        let Some(target) = &spec.recon_target else {
+            return Ok(0.0);
+        };
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let s = g.gram(z);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let loss = g.scale(recon, spec.gamma);
+        let value = g.scalar(loss);
+        g.backward(loss)?;
+        let grads = grads_or_zero(&g, &leaves);
+        self.opt.begin_step();
+        for (slot, (p, gr)) in self.enc.params_mut().into_iter().zip(&grads).enumerate() {
+            self.opt.update(slot, p, gr);
+        }
+        Ok(value)
+    }
+
+    fn clustering_grad(
+        &self,
+        _data: &TrainData,
+        _target: &Mat,
+        _omega: Option<&[usize]>,
+    ) -> Result<Option<Vec<f64>>> {
+        Ok(None)
+    }
+
+    fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let s = g.gram(z);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        g.backward(recon)?;
+        Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VGAE
+// ---------------------------------------------------------------------------
+
+/// The Variational Graph Auto-Encoder: Gaussian posterior heads, the VGAE
+/// KL regulariser (scaled by 1/N), and reconstruction from a sampled latent.
+#[derive(Clone)]
+pub struct Vgae {
+    enc: VarGcnEncoder,
+    opt: Adam,
+}
+
+impl Vgae {
+    /// Standard 32→16 architecture.
+    pub fn new(num_features: usize, rng: &mut Rng64) -> Self {
+        let enc = VarGcnEncoder::new(&[num_features, HIDDEN], LATENT, rng);
+        let mut opt = Adam::new(LR);
+        for p in enc.params() {
+            opt.register(p.shape());
+        }
+        Vgae { enc, opt }
+    }
+
+    fn recon_kl_loss(
+        &self,
+        g: &mut Graph,
+        data: &TrainData,
+        target: &Rc<Csr>,
+        rng: Option<&mut Rng64>,
+    ) -> Result<(Var, Vec<Var>)> {
+        let x = g.constant(data.features.clone());
+        let (mu, logvar, leaves) = self.enc.forward(g, &data.filter, x)?;
+        let z = match rng {
+            Some(r) => VarGcnEncoder::sample(g, mu, logvar, r)?,
+            None => mu,
+        };
+        let s = g.gram(z);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let kl = g.gaussian_kl(mu, logvar)?;
+        let kl_scaled = g.scale(kl, 1.0 / (data.num_nodes as f64).powi(2));
+        let loss = g.add(recon, kl_scaled)?;
+        Ok((loss, leaves))
+    }
+}
+
+impl GaeModel for Vgae {
+    fn clone_box(&self) -> Box<dyn GaeModel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "VGAE"
+    }
+
+    fn embed(&self, data: &TrainData) -> Mat {
+        self.enc.embed(&data.filter, &data.features)
+    }
+
+    fn soft_assignments(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn init_clustering(&mut self, _data: &TrainData, _rng: &mut Rng64) -> Result<()> {
+        Ok(())
+    }
+
+    fn cluster_target(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn train_step(&mut self, data: &TrainData, spec: &StepSpec, rng: &mut Rng64) -> Result<f64> {
+        if spec.cluster.is_some() {
+            return Err(Error::Invalid("VGAE has no clustering head"));
+        }
+        let Some(target) = &spec.recon_target else {
+            return Ok(0.0);
+        };
+        let mut g = Graph::new();
+        let (loss, leaves) = self.recon_kl_loss(&mut g, data, target, Some(rng))?;
+        let loss = g.scale(loss, spec.gamma);
+        let value = g.scalar(loss);
+        g.backward(loss)?;
+        let grads = grads_or_zero(&g, &leaves);
+        self.opt.begin_step();
+        for (slot, (p, gr)) in self.enc.params_mut().into_iter().zip(&grads).enumerate() {
+            self.opt.update(slot, p, gr);
+        }
+        Ok(value)
+    }
+
+    fn clustering_grad(
+        &self,
+        _data: &TrainData,
+        _target: &Mat,
+        _omega: Option<&[usize]>,
+    ) -> Result<Option<Vec<f64>>> {
+        Ok(None)
+    }
+
+    fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
+        let mut g = Graph::new();
+        let (loss, leaves) = self.recon_kl_loss(&mut g, data, target, None)?;
+        g.backward(loss)?;
+        Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ARGAE / ARVGAE
+// ---------------------------------------------------------------------------
+
+/// Adversarially Regularised GAE (Pan et al. 2018): the GAE encoder doubles
+/// as a generator whose latent codes are pushed towards a standard-normal
+/// prior by a small MLP discriminator.
+#[derive(Clone)]
+pub struct Argae {
+    enc: GcnEncoder,
+    disc: Mlp,
+    opt_enc: Adam,
+    opt_disc: Adam,
+    adv_weight: f64,
+}
+
+impl Argae {
+    /// Standard architecture with a 16→64→1 discriminator.
+    pub fn new(num_features: usize, rng: &mut Rng64) -> Self {
+        let enc = GcnEncoder::new(&[num_features, HIDDEN, LATENT], rng);
+        let disc = Mlp::new(&[LATENT, 64, 1], rng);
+        let mut opt_enc = Adam::new(LR);
+        for p in enc.params() {
+            opt_enc.register(p.shape());
+        }
+        let mut opt_disc = Adam::new(0.001);
+        for p in disc.params() {
+            opt_disc.register(p.shape());
+        }
+        Argae {
+            enc,
+            disc,
+            opt_enc,
+            opt_disc,
+            adv_weight: 1.0,
+        }
+    }
+}
+
+/// One discriminator update: real ~ N(0, I) vs fake = current embeddings.
+fn disc_step(
+    disc: &mut Mlp,
+    opt: &mut Adam,
+    z: &Mat,
+    rng: &mut Rng64,
+) -> Result<f64> {
+    let (n, d) = z.shape();
+    // A single leaf pass over the stacked batch [real; fake] trains on both
+    // halves without double-registering the discriminator weights.
+    let mut g = Graph::new();
+    let real = standard_normal(n, d, rng);
+    let mut both = Mat::zeros(2 * n, d);
+    for i in 0..n {
+        both.row_mut(i).copy_from_slice(real.row(i));
+        both.row_mut(n + i).copy_from_slice(z.row(i));
+    }
+    let mut target = Mat::zeros(2 * n, 1);
+    for i in 0..n {
+        target[(i, 0)] = 1.0;
+    }
+    let target = Rc::new(target);
+    let bv = g.constant(both);
+    let (logits, leaves) = disc.forward(&mut g, bv)?;
+    let loss = g.bce_logits_dense(logits, &target)?;
+    let value = g.scalar(loss);
+    g.backward(loss)?;
+    let grads = grads_or_zero(&g, &leaves);
+    opt.begin_step();
+    for (slot, (p, gr)) in disc.params_mut().into_iter().zip(&grads).enumerate() {
+        opt.update(slot, p, gr);
+    }
+    Ok(value)
+}
+
+impl GaeModel for Argae {
+    fn clone_box(&self) -> Box<dyn GaeModel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "ARGAE"
+    }
+
+    fn embed(&self, data: &TrainData) -> Mat {
+        self.enc.embed(&data.filter, &data.features)
+    }
+
+    fn soft_assignments(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn init_clustering(&mut self, _data: &TrainData, _rng: &mut Rng64) -> Result<()> {
+        Ok(())
+    }
+
+    fn cluster_target(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn train_step(&mut self, data: &TrainData, spec: &StepSpec, rng: &mut Rng64) -> Result<f64> {
+        if spec.cluster.is_some() {
+            return Err(Error::Invalid("ARGAE has no clustering head"));
+        }
+        let Some(target) = &spec.recon_target else {
+            return Ok(0.0);
+        };
+        // 1. Discriminator step on the current embeddings.
+        let z = self.embed(data);
+        disc_step(&mut self.disc, &mut self.opt_disc, &z, rng)?;
+
+        // 2. Encoder step: reconstruction + fool-the-discriminator.
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (zv, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let s = g.gram(zv);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.scale(recon, spec.gamma);
+        let d_fake = self.disc.forward_frozen(&mut g, zv)?;
+        let ones = Rc::new(Mat::full(data.num_nodes, 1, 1.0));
+        let gen = g.bce_logits_dense(d_fake, &ones)?;
+        let gen = g.scale(gen, self.adv_weight);
+        let loss = g.add(recon, gen)?;
+        let value = g.scalar(loss);
+        g.backward(loss)?;
+        let grads = grads_or_zero(&g, &leaves);
+        self.opt_enc.begin_step();
+        for (slot, (p, gr)) in self.enc.params_mut().into_iter().zip(&grads).enumerate() {
+            self.opt_enc.update(slot, p, gr);
+        }
+        Ok(value)
+    }
+
+    fn clustering_grad(
+        &self,
+        _data: &TrainData,
+        _target: &Mat,
+        _omega: Option<&[usize]>,
+    ) -> Result<Option<Vec<f64>>> {
+        Ok(None)
+    }
+
+    fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let s = g.gram(z);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        g.backward(recon)?;
+        Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+}
+
+/// Adversarially Regularised *Variational* GAE.
+#[derive(Clone)]
+pub struct Arvgae {
+    enc: VarGcnEncoder,
+    disc: Mlp,
+    opt_enc: Adam,
+    opt_disc: Adam,
+    adv_weight: f64,
+}
+
+impl Arvgae {
+    /// Standard architecture with a 16→64→1 discriminator.
+    pub fn new(num_features: usize, rng: &mut Rng64) -> Self {
+        let enc = VarGcnEncoder::new(&[num_features, HIDDEN], LATENT, rng);
+        let disc = Mlp::new(&[LATENT, 64, 1], rng);
+        let mut opt_enc = Adam::new(LR);
+        for p in enc.params() {
+            opt_enc.register(p.shape());
+        }
+        let mut opt_disc = Adam::new(0.001);
+        for p in disc.params() {
+            opt_disc.register(p.shape());
+        }
+        Arvgae {
+            enc,
+            disc,
+            opt_enc,
+            opt_disc,
+            adv_weight: 1.0,
+        }
+    }
+}
+
+impl GaeModel for Arvgae {
+    fn clone_box(&self) -> Box<dyn GaeModel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "ARVGAE"
+    }
+
+    fn embed(&self, data: &TrainData) -> Mat {
+        self.enc.embed(&data.filter, &data.features)
+    }
+
+    fn soft_assignments(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn init_clustering(&mut self, _data: &TrainData, _rng: &mut Rng64) -> Result<()> {
+        Ok(())
+    }
+
+    fn cluster_target(&self, _data: &TrainData) -> Result<Option<Mat>> {
+        Ok(None)
+    }
+
+    fn train_step(&mut self, data: &TrainData, spec: &StepSpec, rng: &mut Rng64) -> Result<f64> {
+        if spec.cluster.is_some() {
+            return Err(Error::Invalid("ARVGAE has no clustering head"));
+        }
+        let Some(target) = &spec.recon_target else {
+            return Ok(0.0);
+        };
+        let z = self.embed(data);
+        disc_step(&mut self.disc, &mut self.opt_disc, &z, rng)?;
+
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (mu, logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let zv = VarGcnEncoder::sample(&mut g, mu, logvar, rng)?;
+        let s = g.gram(zv);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.scale(recon, spec.gamma);
+        let kl = g.gaussian_kl(mu, logvar)?;
+        let kl = g.scale(kl, 1.0 / (data.num_nodes as f64).powi(2));
+        let d_fake = self.disc.forward_frozen(&mut g, zv)?;
+        let ones = Rc::new(Mat::full(data.num_nodes, 1, 1.0));
+        let gen = g.bce_logits_dense(d_fake, &ones)?;
+        let gen = g.scale(gen, self.adv_weight);
+        let partial = g.add(recon, kl)?;
+        let loss = g.add(partial, gen)?;
+        let value = g.scalar(loss);
+        g.backward(loss)?;
+        let grads = grads_or_zero(&g, &leaves);
+        self.opt_enc.begin_step();
+        for (slot, (p, gr)) in self.enc.params_mut().into_iter().zip(&grads).enumerate() {
+            self.opt_enc.update(slot, p, gr);
+        }
+        Ok(value)
+    }
+
+    fn clustering_grad(
+        &self,
+        _data: &TrainData,
+        _target: &Mat,
+        _omega: Option<&[usize]>,
+    ) -> Result<Option<Vec<f64>>> {
+        Ok(None)
+    }
+
+    fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (mu, _logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let s = g.gram(mu);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        g.backward(recon)?;
+        Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DGAE (Appendix B)
+// ---------------------------------------------------------------------------
+
+/// The paper's Discriminative GAE (Appendix B): two GCN layers (32 → 16),
+/// Student-t soft assignments around learnable centroids, the DEC
+/// `KL(Q ‖ P)` clustering loss, and reconstruction with γ = 0.001.
+#[derive(Clone)]
+pub struct Dgae {
+    enc: GcnEncoder,
+    centroids: Mat,
+    centroids_ready: bool,
+    opt: Adam,
+}
+
+impl Dgae {
+    /// Appendix-B architecture for `k` clusters.
+    pub fn new(num_features: usize, k: usize, rng: &mut Rng64) -> Self {
+        let enc = GcnEncoder::new(&[num_features, HIDDEN, LATENT], rng);
+        let centroids = Mat::zeros(k, LATENT);
+        let mut opt = Adam::new(LR);
+        for p in enc.params() {
+            opt.register(p.shape());
+        }
+        opt.register(centroids.shape());
+        Dgae {
+            enc,
+            centroids,
+            centroids_ready: false,
+            opt,
+        }
+    }
+
+    /// Build `P` differentiably; optionally restricted to Ω rows.
+    fn soft_p(
+        &self,
+        g: &mut Graph,
+        z: Var,
+        mu: Var,
+        omega: Option<&[usize]>,
+    ) -> Result<Var> {
+        let z = match omega {
+            Some(idx) => g.gather_rows(z, idx)?,
+            None => z,
+        };
+        let d = g.pairwise_sq_dists(z, mu)?;
+        let num = g.recip_one_plus(d);
+        Ok(g.row_normalize(num))
+    }
+}
+
+impl GaeModel for Dgae {
+    fn clone_box(&self) -> Box<dyn GaeModel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "DGAE"
+    }
+
+    fn embed(&self, data: &TrainData) -> Mat {
+        self.enc.embed(&data.filter, &data.features)
+    }
+
+    fn soft_assignments(&self, data: &TrainData) -> Result<Option<Mat>> {
+        if !self.centroids_ready {
+            return Ok(None);
+        }
+        let z = self.embed(data);
+        Ok(Some(rgae_cluster::student_t_assignments(
+            &z,
+            &self.centroids,
+        )?))
+    }
+
+    fn init_clustering(&mut self, data: &TrainData, rng: &mut Rng64) -> Result<()> {
+        let z = self.embed(data);
+        let km = kmeans(&z, data.num_classes, 100, rng)?;
+        self.centroids = km.centroids;
+        self.centroids_ready = true;
+        Ok(())
+    }
+
+    fn cluster_target(&self, data: &TrainData) -> Result<Option<Mat>> {
+        Ok(self
+            .soft_assignments(data)?
+            .map(|p| dec_target_distribution(&p)))
+    }
+
+    fn train_step(&mut self, data: &TrainData, spec: &StepSpec, _rng: &mut Rng64) -> Result<f64> {
+        if spec.cluster.is_some() && !self.centroids_ready {
+            return Err(Error::Invalid("DGAE clustering not initialised"));
+        }
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (z, mut leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let mut loss: Option<Var> = None;
+        if let Some(ClusterStep { target, omega }) = &spec.cluster {
+            let mu = g.leaf(self.centroids.clone());
+            leaves.push(mu);
+            let p = self.soft_p(&mut g, z, mu, omega.as_deref())?;
+            let q = Rc::new(gather_target(target, omega.as_deref()));
+            let kl = g.kl_div_const_q(p, &q)?;
+            // Mean over the participating rows keeps γ comparable across Ω
+            // sizes.
+            let rows = q.rows().max(1) as f64;
+            let kl = g.scale(kl, 1.0 / rows);
+            loss = Some(kl);
+        }
+        if let Some(target) = &spec.recon_target {
+            let s = g.gram(z);
+            let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+            let recon = g.scale(recon, spec.gamma);
+            loss = Some(match loss {
+                Some(l) => g.add(l, recon)?,
+                None => recon,
+            });
+        }
+        let Some(loss) = loss else {
+            return Ok(0.0);
+        };
+        let value = g.scalar(loss);
+        g.backward(loss)?;
+        let grads = grads_or_zero(&g, &leaves);
+        self.opt.begin_step();
+        let mut params = self.enc.params_mut();
+        params.push(&mut self.centroids);
+        // When no clustering term ran, `leaves` lacks the centroid leaf; pad
+        // with a zero gradient so slot order stays aligned.
+        let mut padded = grads;
+        while padded.len() < params.len() {
+            let p = &params[padded.len()];
+            padded.push(Mat::zeros(p.shape().0, p.shape().1));
+        }
+        for (slot, (p, gr)) in params.into_iter().zip(&padded).enumerate() {
+            self.opt.update(slot, p, gr);
+        }
+        Ok(value)
+    }
+
+    fn clustering_grad(
+        &self,
+        data: &TrainData,
+        target: &Mat,
+        omega: Option<&[usize]>,
+    ) -> Result<Option<Vec<f64>>> {
+        if !self.centroids_ready {
+            return Ok(None);
+        }
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let mu = g.constant(self.centroids.clone());
+        let p = self.soft_p(&mut g, z, mu, omega)?;
+        let q = Rc::new(gather_target(target, omega));
+        let kl = g.kl_div_const_q(p, &q)?;
+        let rows = q.rows().max(1) as f64;
+        let kl = g.scale(kl, 1.0 / rows);
+        g.backward(kl)?;
+        Ok(Some(flatten(&grads_or_zero(&g, &leaves))))
+    }
+
+    fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let s = g.gram(z);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        g.backward(recon)?;
+        Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GMM-VGAE
+// ---------------------------------------------------------------------------
+
+/// A VGAE whose latent space carries a Gaussian-mixture clustering head
+/// (Hui et al. 2020, VaDE-style simplification documented in DESIGN.md):
+/// mixture means/variances are trainable, mixing weights are updated in
+/// closed form from the responsibilities.
+#[derive(Clone)]
+pub struct GmmVgae {
+    enc: VarGcnEncoder,
+    mix_weights: Vec<f64>,
+    mix_means: Mat,
+    mix_logvars: Mat,
+    heads_ready: bool,
+    opt: Adam,
+    /// Weight of the clustering (mixture log-likelihood) term.
+    pub cluster_weight: f64,
+}
+
+impl GmmVgae {
+    /// Standard architecture for `k` clusters.
+    pub fn new(num_features: usize, k: usize, rng: &mut Rng64) -> Self {
+        let enc = VarGcnEncoder::new(&[num_features, HIDDEN], LATENT, rng);
+        let mix_means = Mat::zeros(k, LATENT);
+        let mix_logvars = Mat::zeros(k, LATENT);
+        let mut opt = Adam::new(LR);
+        for p in enc.params() {
+            opt.register(p.shape());
+        }
+        opt.register(mix_means.shape());
+        opt.register(mix_logvars.shape());
+        GmmVgae {
+            enc,
+            mix_weights: vec![1.0 / k as f64; k],
+            mix_means,
+            mix_logvars,
+            heads_ready: false,
+            opt,
+            cluster_weight: 0.1,
+        }
+    }
+
+    /// Plain-matrix responsibilities under the current mixture, with a
+    /// likelihood temperature (1.0 = exact posterior).
+    fn responsibilities_tempered(&self, z: &Mat, temperature: f64) -> Mat {
+        let (n, k) = (z.rows(), self.mix_weights.len());
+        let d = z.cols();
+        let ln2pi = (2.0 * std::f64::consts::PI).ln();
+        let mut out = Mat::zeros(n, k);
+        for i in 0..n {
+            let mut logp = vec![0.0; k];
+            for c in 0..k {
+                let mut acc = self.mix_weights[c].max(1e-300).ln();
+                for di in 0..d {
+                    let lv = self.mix_logvars[(c, di)];
+                    let diff = z[(i, di)] - self.mix_means[(c, di)];
+                    acc += -0.5 * (ln2pi + lv + diff * diff * (-lv).exp());
+                }
+                logp[c] = acc / temperature.max(1e-9);
+            }
+            let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for lp in &mut logp {
+                *lp = (*lp - mx).exp();
+                sum += *lp;
+            }
+            for c in 0..k {
+                out[(i, c)] = logp[c] / sum;
+            }
+        }
+        out
+    }
+
+    /// Plain-matrix responsibilities under the current mixture.
+    fn responsibilities(&self, z: &Mat) -> Mat {
+        self.responsibilities_tempered(z, 1.0)
+    }
+
+    /// Differentiable clustering loss: negative responsibility-weighted
+    /// mixture log-density, mean over participating rows.
+    fn cluster_loss(
+        &self,
+        g: &mut Graph,
+        z: Var,
+        means: Var,
+        logvars: Var,
+        target: &Mat,
+        omega: Option<&[usize]>,
+    ) -> Result<Var> {
+        let z = match omega {
+            Some(idx) => g.gather_rows(z, idx)?,
+            None => z,
+        };
+        let r = Rc::new(gather_target(target, omega));
+        let lp = g.gauss_log_pdf(z, means, logvars)?;
+        let rv = g.constant((*r).clone());
+        let weighted = g.hadamard(lp, rv)?;
+        let s = g.sum(weighted);
+        let rows = r.rows().max(1) as f64;
+        Ok(g.scale(s, -self.cluster_weight / rows))
+    }
+}
+
+impl GaeModel for GmmVgae {
+    fn clone_box(&self) -> Box<dyn GaeModel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "GMM-VGAE"
+    }
+
+    fn embed(&self, data: &TrainData) -> Mat {
+        self.enc.embed(&data.filter, &data.features)
+    }
+
+    fn soft_assignments(&self, data: &TrainData) -> Result<Option<Mat>> {
+        if !self.heads_ready {
+            return Ok(None);
+        }
+        let z = self.embed(data);
+        Ok(Some(self.responsibilities(&z)))
+    }
+
+    fn xi_assignments(&self, data: &TrainData) -> Result<Option<Mat>> {
+        if !self.heads_ready {
+            return Ok(None);
+        }
+        // Temperature = latent dimension: exact responsibilities saturate
+        // when the mixture components are well separated, which would hand
+        // Ξ a degenerate (all-ones) confidence landscape.
+        let z = self.embed(data);
+        Ok(Some(self.responsibilities_tempered(&z, z.cols() as f64)))
+    }
+
+    fn init_clustering(&mut self, data: &TrainData, rng: &mut Rng64) -> Result<()> {
+        let z = self.embed(data);
+        let gmm = GaussianMixture::fit(&z, data.num_classes, 100, rng)?;
+        self.mix_weights = gmm.weights;
+        self.mix_means = gmm.means;
+        self.mix_logvars = gmm.variances.map(f64::ln);
+        self.heads_ready = true;
+        Ok(())
+    }
+
+    fn cluster_target(&self, data: &TrainData) -> Result<Option<Mat>> {
+        self.soft_assignments(data)
+    }
+
+    fn train_step(&mut self, data: &TrainData, spec: &StepSpec, rng: &mut Rng64) -> Result<f64> {
+        if spec.cluster.is_some() && !self.heads_ready {
+            return Err(Error::Invalid("GMM-VGAE clustering not initialised"));
+        }
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (mu, logvar, mut leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let z = VarGcnEncoder::sample(&mut g, mu, logvar, rng)?;
+        let kl = g.gaussian_kl(mu, logvar)?;
+        let mut loss = g.scale(kl, 1.0 / (data.num_nodes as f64).powi(2));
+        if let Some(target) = &spec.recon_target {
+            let s = g.gram(z);
+            let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+            let recon = g.scale(recon, spec.gamma);
+            loss = g.add(loss, recon)?;
+        }
+        let mut with_heads = false;
+        if let Some(ClusterStep { target, omega }) = &spec.cluster {
+            let means = g.leaf(self.mix_means.clone());
+            let logvars = g.leaf(self.mix_logvars.clone());
+            leaves.push(means);
+            leaves.push(logvars);
+            with_heads = true;
+            let cl = self.cluster_loss(&mut g, z, means, logvars, target, omega.as_deref())?;
+            loss = g.add(loss, cl)?;
+            // Closed-form mixing-weight refresh from the target
+            // responsibilities.
+            let k = self.mix_weights.len();
+            let sums = target.col_sums();
+            let total: f64 = sums.iter().sum();
+            if total > 0.0 {
+                for c in 0..k {
+                    self.mix_weights[c] = (sums[c] / total).max(1e-6);
+                }
+            }
+        }
+        let value = g.scalar(loss);
+        g.backward(loss)?;
+        let grads = grads_or_zero(&g, &leaves);
+        self.opt.begin_step();
+        let mut params = self.enc.params_mut();
+        if with_heads {
+            params.push(&mut self.mix_means);
+            params.push(&mut self.mix_logvars);
+        }
+        for (slot, (p, gr)) in params.into_iter().zip(&grads).enumerate() {
+            self.opt.update(slot, p, gr);
+        }
+        if with_heads {
+            // Variance floor/ceiling (sklearn's `reg_covar` idea): without
+            // it the mixture log-likelihood is unbounded above — components
+            // collapse onto single points and take the embedding with them.
+            for lv in self.mix_logvars.as_mut_slice() {
+                *lv = lv.clamp(-6.0, 3.0);
+            }
+        }
+        Ok(value)
+    }
+
+    fn clustering_grad(
+        &self,
+        data: &TrainData,
+        target: &Mat,
+        omega: Option<&[usize]>,
+    ) -> Result<Option<Vec<f64>>> {
+        if !self.heads_ready {
+            return Ok(None);
+        }
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (mu, _logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let means = g.constant(self.mix_means.clone());
+        let logvars = g.constant(self.mix_logvars.clone());
+        let cl = self.cluster_loss(&mut g, mu, means, logvars, target, omega)?;
+        g.backward(cl)?;
+        Ok(Some(flatten(&grads_or_zero(&g, &leaves))))
+    }
+
+    fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
+        let mut g = Graph::new();
+        let x = g.constant(data.features.clone());
+        let (mu, _logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
+        let s = g.gram(mu);
+        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        g.backward(recon)?;
+        Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+}

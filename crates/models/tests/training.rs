@@ -1,0 +1,320 @@
+//! End-to-end training behaviour of every model on a small synthetic
+//! benchmark: losses go down, embeddings become cluster-informative, the
+//! gradient accessors behave, and misuse is rejected.
+
+use std::rc::Rc;
+
+use rgae_cluster::{accuracy, kmeans};
+use rgae_datasets::{citation_like, CitationSpec};
+use rgae_graph::AttributedGraph;
+use rgae_linalg::{cosine, Csr, Rng64};
+use rgae_models::{
+    Argae, Arvgae, ClusterStep, Dgae, Gae, GaeModel, GmmVgae, StepSpec, TrainData, Vgae,
+};
+
+fn small_graph(seed: u64) -> AttributedGraph {
+    citation_like(
+        &CitationSpec {
+            name: "small".into(),
+            num_nodes: 150,
+            num_classes: 3,
+            num_features: 80,
+            avg_degree: 5.0,
+            homophily: 0.88,
+            degree_power: 2.8,
+            words_per_node: 12,
+            topic_purity: 0.85,
+            class_proportions: vec![],
+        },
+        seed,
+    )
+    .unwrap()
+}
+
+fn pretrain(model: &mut dyn GaeModel, data: &TrainData, epochs: usize, rng: &mut Rng64) -> Vec<f64> {
+    let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
+    (0..epochs)
+        .map(|_| model.train_step(data, &spec, rng).unwrap())
+        .collect()
+}
+
+fn kmeans_acc(z: &rgae_linalg::Mat, labels: &[usize], k: usize, rng: &mut Rng64) -> f64 {
+    let km = kmeans(z, k, 100, rng).unwrap();
+    accuracy(&km.assignments, labels)
+}
+
+#[test]
+fn gae_pretraining_reduces_loss_and_clusters() {
+    let g = small_graph(1);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(1);
+    let mut model = Gae::new(data.num_features(), &mut rng);
+    let losses = pretrain(&mut model, &data, 80, &mut rng);
+    assert!(losses.iter().all(|l| l.is_finite()));
+    assert!(
+        losses.last().unwrap() < &(losses[0] * 0.9),
+        "loss did not drop: {} -> {}",
+        losses[0],
+        losses.last().unwrap()
+    );
+    let z = model.embed(&data);
+    let acc = kmeans_acc(&z, g.labels(), 3, &mut rng);
+    assert!(acc > 0.55, "GAE embedding acc {acc}");
+}
+
+#[test]
+fn vgae_pretraining_reduces_loss() {
+    let g = small_graph(2);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(2);
+    let mut model = Vgae::new(data.num_features(), &mut rng);
+    let losses = pretrain(&mut model, &data, 80, &mut rng);
+    assert!(losses.last().unwrap() < &losses[0]);
+    let z = model.embed(&data);
+    assert!(z.all_finite());
+    let acc = kmeans_acc(&z, g.labels(), 3, &mut rng);
+    assert!(acc > 0.5, "VGAE embedding acc {acc}");
+}
+
+#[test]
+fn argae_and_arvgae_train_stably() {
+    let g = small_graph(3);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(3);
+    let mut a = Argae::new(data.num_features(), &mut rng);
+    let mut av = Arvgae::new(data.num_features(), &mut rng);
+    let la = pretrain(&mut a, &data, 50, &mut rng);
+    let lv = pretrain(&mut av, &data, 50, &mut rng);
+    assert!(la.iter().chain(lv.iter()).all(|l| l.is_finite()));
+    assert!(a.embed(&data).all_finite());
+    assert!(av.embed(&data).all_finite());
+    // Latent codes should be pulled towards the prior: bounded scale.
+    let z = a.embed(&data);
+    let scale = z.frob_norm() / (z.rows() as f64).sqrt();
+    assert!(scale < 50.0, "latent scale {scale}");
+}
+
+#[test]
+fn first_group_rejects_cluster_steps() {
+    let g = small_graph(4);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(4);
+    let mut model = Gae::new(data.num_features(), &mut rng);
+    let spec = StepSpec {
+        recon_target: Some(Rc::clone(&data.adjacency)),
+        gamma: 1.0,
+        cluster: Some(ClusterStep {
+            target: rgae_linalg::Mat::full(data.num_nodes, 3, 1.0 / 3.0),
+            omega: None,
+        }),
+    };
+    assert!(model.train_step(&data, &spec, &mut rng).is_err());
+    assert!(model.clustering_grad(&data, &spec.cluster.as_ref().unwrap().target, None)
+        .unwrap()
+        .is_none());
+}
+
+#[test]
+fn dgae_requires_init_then_improves() {
+    let g = small_graph(5);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(5);
+    let mut model = Dgae::new(data.num_features(), 3, &mut rng);
+
+    // Cluster step before init must fail.
+    let bad = StepSpec {
+        recon_target: None,
+        gamma: 0.0,
+        cluster: Some(ClusterStep {
+            target: rgae_linalg::Mat::full(data.num_nodes, 3, 1.0 / 3.0),
+            omega: None,
+        }),
+    };
+    assert!(model.train_step(&data, &bad, &mut rng).is_err());
+    assert!(model.soft_assignments(&data).unwrap().is_none());
+
+    pretrain(&mut model, &data, 80, &mut rng);
+    model.init_clustering(&data, &mut rng).unwrap();
+    let p0 = model.soft_assignments(&data).unwrap().unwrap();
+    let acc_before = accuracy(&p0.row_argmax(), g.labels());
+
+    // Joint phase: DEC target + γ-weighted reconstruction (Appendix B:
+    // γ = 0.001).
+    for _ in 0..60 {
+        let target = model.cluster_target(&data).unwrap().unwrap();
+        let spec = StepSpec {
+            recon_target: Some(Rc::clone(&data.adjacency)),
+            gamma: 0.001,
+            cluster: Some(ClusterStep {
+                target,
+                omega: None,
+            }),
+        };
+        model.train_step(&data, &spec, &mut rng).unwrap();
+    }
+    let p1 = model.soft_assignments(&data).unwrap().unwrap();
+    let acc_after = accuracy(&p1.row_argmax(), g.labels());
+    assert!(
+        acc_after >= acc_before - 0.05,
+        "DEC phase degraded: {acc_before} -> {acc_after}"
+    );
+    assert!(acc_after > 0.55, "DGAE acc {acc_after}");
+}
+
+#[test]
+fn gmm_vgae_trains_jointly() {
+    let g = small_graph(6);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(6);
+    let mut model = GmmVgae::new(data.num_features(), 3, &mut rng);
+    pretrain(&mut model, &data, 80, &mut rng);
+    model.init_clustering(&data, &mut rng).unwrap();
+    let acc_before = accuracy(
+        &model
+            .soft_assignments(&data)
+            .unwrap()
+            .unwrap()
+            .row_argmax(),
+        g.labels(),
+    );
+    for _ in 0..40 {
+        let target = model.cluster_target(&data).unwrap().unwrap();
+        let spec = StepSpec {
+            recon_target: Some(Rc::clone(&data.adjacency)),
+            gamma: 1.0,
+            cluster: Some(ClusterStep {
+                target,
+                omega: None,
+            }),
+        };
+        let loss = model.train_step(&data, &spec, &mut rng).unwrap();
+        assert!(loss.is_finite());
+    }
+    let acc_after = accuracy(
+        &model
+            .soft_assignments(&data)
+            .unwrap()
+            .unwrap()
+            .row_argmax(),
+        g.labels(),
+    );
+    assert!(
+        acc_after >= acc_before - 0.05,
+        "GMM phase degraded: {acc_before} -> {acc_after}"
+    );
+    assert!(acc_after > 0.55, "GMM-VGAE acc {acc_after}");
+}
+
+#[test]
+fn omega_restriction_changes_clustering_grad() {
+    let g = small_graph(7);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(7);
+    let mut model = Dgae::new(data.num_features(), 3, &mut rng);
+    pretrain(&mut model, &data, 30, &mut rng);
+    model.init_clustering(&data, &mut rng).unwrap();
+    let target = model.cluster_target(&data).unwrap().unwrap();
+    let full = model.clustering_grad(&data, &target, None).unwrap().unwrap();
+    let omega: Vec<usize> = (0..30).collect();
+    let restricted = model
+        .clustering_grad(&data, &target, Some(&omega))
+        .unwrap()
+        .unwrap();
+    assert_eq!(full.len(), restricted.len());
+    let c = cosine(&full, &restricted);
+    assert!(c < 0.999, "restriction had no effect (cos {c})");
+    assert!(full.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn recon_grad_depends_on_target() {
+    let g = small_graph(8);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(8);
+    let mut model = Dgae::new(data.num_features(), 3, &mut rng);
+    pretrain(&mut model, &data, 20, &mut rng);
+    let grad_a = model.recon_grad(&data, &data.adjacency).unwrap();
+    // Same target → identical gradient (determinism).
+    let grad_a2 = model.recon_grad(&data, &data.adjacency).unwrap();
+    assert!((cosine(&grad_a, &grad_a2) - 1.0).abs() < 1e-12);
+    // A very different target → a different gradient direction.
+    let empty = Rc::new(Csr::zeros(data.num_nodes, data.num_nodes));
+    let grad_e = model.recon_grad(&data, &empty).unwrap();
+    assert!(cosine(&grad_a, &grad_e) < 0.999);
+}
+
+#[test]
+fn second_group_beats_first_group_on_easy_data() {
+    // The paper's headline taxonomy claim, at miniature scale.
+    let g = small_graph(9);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(9);
+
+    let mut gae = Gae::new(data.num_features(), &mut rng);
+    pretrain(&mut gae, &data, 60, &mut rng);
+    let acc_first = kmeans_acc(&gae.embed(&data), g.labels(), 3, &mut rng);
+
+    let mut dgae = Dgae::new(data.num_features(), 3, &mut rng);
+    pretrain(&mut dgae, &data, 60, &mut rng);
+    dgae.init_clustering(&data, &mut rng).unwrap();
+    for _ in 0..50 {
+        let target = dgae.cluster_target(&data).unwrap().unwrap();
+        let spec = StepSpec {
+            recon_target: Some(Rc::clone(&data.adjacency)),
+            gamma: 0.001,
+            cluster: Some(ClusterStep {
+                target,
+                omega: None,
+            }),
+        };
+        dgae.train_step(&data, &spec, &mut rng).unwrap();
+    }
+    let acc_second = accuracy(
+        &dgae
+            .soft_assignments(&data)
+            .unwrap()
+            .unwrap()
+            .row_argmax(),
+        g.labels(),
+    );
+    assert!(
+        acc_second + 0.03 >= acc_first,
+        "joint ({acc_second}) should not trail post-hoc ({acc_first}) badly"
+    );
+}
+
+#[test]
+fn xi_assignments_share_argmax_with_soft_assignments() {
+    // The tempering calibration must never change which cluster a node is
+    // assigned to — only the confidence landscape Ξ reads.
+    let g = small_graph(10);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(10);
+    let mut model = GmmVgae::new(data.num_features(), 3, &mut rng);
+    pretrain(&mut model, &data, 40, &mut rng);
+    model.init_clustering(&data, &mut rng).unwrap();
+    let soft = model.soft_assignments(&data).unwrap().unwrap();
+    let xi_p = model.xi_assignments(&data).unwrap().unwrap();
+    assert_eq!(soft.row_argmax(), xi_p.row_argmax());
+    // And the tempered landscape is strictly less saturated on average.
+    let mean_top = |m: &rgae_linalg::Mat| -> f64 {
+        (0..m.rows())
+            .map(|i| m.row(i).iter().cloned().fold(f64::MIN, f64::max))
+            .sum::<f64>()
+            / m.rows() as f64
+    };
+    assert!(mean_top(&xi_p) < mean_top(&soft) + 1e-9);
+}
+
+#[test]
+fn dgae_xi_assignments_default_to_soft() {
+    let g = small_graph(11);
+    let data = TrainData::from_graph(&g);
+    let mut rng = Rng64::seed_from_u64(11);
+    let mut model = Dgae::new(data.num_features(), 3, &mut rng);
+    pretrain(&mut model, &data, 30, &mut rng);
+    model.init_clustering(&data, &mut rng).unwrap();
+    let a = model.soft_assignments(&data).unwrap().unwrap();
+    let b = model.xi_assignments(&data).unwrap().unwrap();
+    assert!(a.max_abs_diff(&b) < 1e-12, "DGAE must not be tempered");
+}

@@ -1,0 +1,142 @@
+//! Terminal plots: quick previews of the figure series.
+
+/// Render a labelled 2-D scatter as ASCII (labels drawn as digits/letters).
+pub fn ascii_scatter(points: &[(f64, f64)], labels: &[usize], width: usize, height: usize) -> String {
+    assert_eq!(points.len(), labels.len());
+    let width = width.max(8);
+    let height = height.max(4);
+    if points.is_empty() {
+        return String::from("(empty scatter)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    let xr = (xmax - xmin).max(1e-12);
+    let yr = (ymax - ymin).max(1e-12);
+    let glyphs: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut grid = vec![vec![b' '; width]; height];
+    for (&(x, y), &l) in points.iter().zip(labels) {
+        let cx = (((x - xmin) / xr) * (width - 1) as f64).round() as usize;
+        let cy = (((y - ymin) / yr) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = glyphs[l % glyphs.len()];
+    }
+    let mut out = String::with_capacity(height * (width + 3));
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('|');
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one or more named series as an ASCII line chart sharing the x
+/// axis (indices) and y range.
+pub fn ascii_lines(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(5);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut max_len = 0;
+    for (_, ys) in series {
+        max_len = max_len.max(ys.len());
+        for &y in *ys {
+            if y.is_finite() {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+    }
+    if max_len == 0 || !lo.is_finite() {
+        return String::from("(empty chart)\n");
+    }
+    let range = (hi - lo).max(1e-12);
+    let glyphs: &[u8] = b"*+x o#@%&";
+    let mut grid = vec![vec![b' '; width]; height];
+    for (s, (_, ys)) in series.iter().enumerate() {
+        let glyph = glyphs[s % glyphs.len()];
+        for (i, &y) in ys.iter().enumerate() {
+            if !y.is_finite() {
+                continue;
+            }
+            let cx = if max_len == 1 {
+                0
+            } else {
+                (i as f64 / (max_len - 1) as f64 * (width - 1) as f64).round() as usize
+            };
+            let cy = (((y - lo) / range) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{hi:>10.3} ┐\n"));
+    for row in grid {
+        out.push_str("           |");
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!("{lo:>10.3} ┘"));
+    let mut legend = String::new();
+    for (s, (name, _)) in series.iter().enumerate() {
+        legend.push_str(&format!("  {}={}", glyphs[s % glyphs.len()] as char, name));
+    }
+    out.push_str(&legend);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_places_glyphs() {
+        let pts = [(0.0, 0.0), (1.0, 1.0), (0.5, 0.5)];
+        let s = ascii_scatter(&pts, &[0, 1, 2], 20, 10);
+        assert!(s.contains('0'));
+        assert!(s.contains('1'));
+        assert!(s.contains('2'));
+        assert_eq!(s.lines().count(), 10);
+    }
+
+    #[test]
+    fn scatter_handles_empty() {
+        let s = ascii_scatter(&[], &[], 20, 10);
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn scatter_handles_degenerate_range() {
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        let s = ascii_scatter(&pts, &[0, 0], 10, 5);
+        assert!(s.contains('0'));
+    }
+
+    #[test]
+    fn lines_renders_legend_and_bounds() {
+        let a = [0.0, 0.5, 1.0];
+        let b = [1.0, 0.5, 0.0];
+        let s = ascii_lines(&[("up", &a), ("down", &b)], 30, 8);
+        assert!(s.contains("up"));
+        assert!(s.contains("down"));
+        assert!(s.contains("1.000"));
+        assert!(s.contains("0.000"));
+    }
+
+    #[test]
+    fn lines_skips_nan() {
+        let a = [0.0, f64::NAN, 1.0];
+        let s = ascii_lines(&[("a", &a)], 20, 6);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn lines_handles_empty() {
+        let s = ascii_lines(&[("a", &[])], 20, 6);
+        assert!(s.contains("empty"));
+    }
+}

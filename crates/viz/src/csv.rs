@@ -1,0 +1,98 @@
+//! A tiny CSV writer for the figure/table series. No external crate needed:
+//! every emitted field is either a number or a simple identifier.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::Result;
+
+/// A column-ordered CSV file writer.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Create (truncating) `path` and write the header row. Parent
+    /// directories are created as needed.
+    pub fn create(path: impl AsRef<Path>, header: &[&str]) -> Result<Self> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Write a numeric row; must match the header width.
+    pub fn row(&mut self, values: &[f64]) -> Result<()> {
+        assert_eq!(values.len(), self.columns, "csv row width mismatch");
+        let mut first = true;
+        for v in values {
+            if !first {
+                write!(self.out, ",")?;
+            }
+            first = false;
+            write!(self.out, "{v}")?;
+        }
+        writeln!(self.out)?;
+        Ok(())
+    }
+
+    /// Write a row of preformatted fields (e.g. a label plus numbers).
+    pub fn row_strs(&mut self, values: &[String]) -> Result<()> {
+        assert_eq!(values.len(), self.columns, "csv row width mismatch");
+        writeln!(self.out, "{}", values.join(","))?;
+        Ok(())
+    }
+
+    /// Flush buffered output.
+    pub fn finish(mut self) -> Result<()> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("rgae_csv_test");
+        let path = dir.join("t.csv");
+        let mut w = CsvWriter::create(&path, &["epoch", "acc"]).unwrap();
+        w.row(&[0.0, 0.5]).unwrap();
+        w.row(&[1.0, 0.75]).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "epoch,acc\n0,0.5\n1,0.75\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let dir = std::env::temp_dir().join("rgae_csv_test2");
+        let path = dir.join("t.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        let _ = w.row(&[1.0]);
+    }
+
+    #[test]
+    fn mixed_string_rows() {
+        let dir = std::env::temp_dir().join("rgae_csv_test3");
+        let path = dir.join("t.csv");
+        let mut w = CsvWriter::create(&path, &["model", "acc"]).unwrap();
+        w.row_strs(&["GAE".into(), "0.613".into()]).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("GAE,0.613"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,117 @@
+//! 2-D PCA by power iteration with deflation — a cheap alternative
+//! projection when t-SNE is overkill.
+
+use rgae_linalg::{Mat, Rng64};
+
+use crate::{Error, Result};
+
+/// Project `x` onto its top two principal components.
+pub fn pca_2d(x: &Mat, rng: &mut Rng64) -> Result<Mat> {
+    let (n, d) = x.shape();
+    if n < 2 || d < 2 {
+        return Err(Error::Invalid("pca_2d: need at least 2x2 input"));
+    }
+    // Centre.
+    let means = x.col_means();
+    let mut centred = x.clone();
+    for i in 0..n {
+        for (v, &m) in centred.row_mut(i).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    // Covariance (d×d).
+    let cov = centred.t_matmul(&centred).expect("gram").scale(1.0 / n as f64);
+
+    let mut components = Mat::zeros(2, d);
+    let mut cov_work = cov;
+    for c in 0..2 {
+        let mut v: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
+        normalize(&mut v);
+        for _ in 0..200 {
+            let mut next = vec![0.0; d];
+            for i in 0..d {
+                let row = cov_work.row(i);
+                next[i] = row.iter().zip(&v).map(|(&a, &b)| a * b).sum();
+            }
+            normalize(&mut next);
+            let delta: f64 = next
+                .iter()
+                .zip(&v)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            v = next;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        components.row_mut(c).copy_from_slice(&v);
+        // Deflate: cov ← cov − λ v vᵀ with λ = vᵀ cov v.
+        let mut cv = vec![0.0; d];
+        for i in 0..d {
+            cv[i] = cov_work.row(i).iter().zip(&v).map(|(&a, &b)| a * b).sum();
+        }
+        let lambda: f64 = v.iter().zip(&cv).map(|(&a, &b)| a * b).sum();
+        for i in 0..d {
+            for j in 0..d {
+                cov_work[(i, j)] -= lambda * v[i] * v[j];
+            }
+        }
+    }
+    Ok(centred.matmul_t(&components).expect("projection shapes"))
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|&a| a * a).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for a in v.iter_mut() {
+            *a /= norm;
+        }
+    } else {
+        v[0] = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points spread along (1, 1, 0) with small noise: PC1 ≈ that axis.
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let t = rng.normal_with(0.0, 5.0);
+            rows.push(vec![
+                t + rng.normal_with(0.0, 0.1),
+                t + rng.normal_with(0.0, 0.1),
+                rng.normal_with(0.0, 0.1),
+            ]);
+        }
+        let x = Mat::from_rows(&rows).unwrap();
+        let y = pca_2d(&x, &mut rng).unwrap();
+        assert_eq!(y.shape(), (200, 2));
+        // Variance along PC1 vastly exceeds PC2's.
+        let var = |col: usize| -> f64 {
+            let m: f64 = y.col(col).iter().sum::<f64>() / 200.0;
+            y.col(col).iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / 200.0
+        };
+        assert!(var(0) > 20.0 * var(1), "{} vs {}", var(0), var(1));
+    }
+
+    #[test]
+    fn projection_is_centred() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let x = rgae_linalg::uniform(50, 4, 5.0, 9.0, &mut rng);
+        let y = pca_2d(&x, &mut rng).unwrap();
+        let means = y.col_means();
+        assert!(means[0].abs() < 1e-8 && means[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        let mut rng = Rng64::seed_from_u64(3);
+        assert!(pca_2d(&Mat::zeros(1, 5), &mut rng).is_err());
+        assert!(pca_2d(&Mat::zeros(5, 1), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Exact (O(N²)) t-SNE, following van der Maaten & Hinton (2008).
+//!
+//! The embeddings visualised in the paper are a few thousand points at
+//! most, so the exact algorithm with early exaggeration and momentum is
+//! both faithful and fast enough.
+
+use rgae_linalg::{Mat, Rng64};
+
+use crate::{Error, Result};
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Iterations with early exaggeration (P scaled by 12).
+    pub exaggeration_iters: usize,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration_iters: 80,
+        }
+    }
+}
+
+/// Binary-search the Gaussian bandwidth for one row to match `perplexity`.
+fn row_affinities(d2: &[f64], i: usize, perplexity: f64, out: &mut [f64]) {
+    let target_h = perplexity.ln();
+    let mut beta = 1.0;
+    let mut beta_min = f64::NEG_INFINITY;
+    let mut beta_max = f64::INFINITY;
+    for _ in 0..50 {
+        let mut sum = 0.0;
+        let mut sum_dp = 0.0;
+        for (j, &d) in d2.iter().enumerate() {
+            if j == i {
+                out[j] = 0.0;
+                continue;
+            }
+            let p = (-beta * d).exp();
+            out[j] = p;
+            sum += p;
+            sum_dp += d * p;
+        }
+        if sum <= 0.0 {
+            break;
+        }
+        // Shannon entropy of the conditional distribution.
+        let h = sum.ln() + beta * sum_dp / sum;
+        let diff = h - target_h;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() {
+                (beta + beta_max) / 2.0
+            } else {
+                beta * 2.0
+            };
+        } else {
+            beta_max = beta;
+            beta = if beta_min.is_finite() {
+                (beta + beta_min) / 2.0
+            } else {
+                beta / 2.0
+            };
+        }
+    }
+    let sum: f64 = out.iter().sum();
+    if sum > 0.0 {
+        for p in out.iter_mut() {
+            *p /= sum;
+        }
+    }
+}
+
+/// Project `x` (N×d) to 2-D with t-SNE.
+pub fn tsne(x: &Mat, cfg: &TsneConfig, rng: &mut Rng64) -> Result<Mat> {
+    let n = x.rows();
+    if n < 4 {
+        return Err(Error::Invalid("tsne: need at least 4 points"));
+    }
+    if cfg.perplexity <= 1.0 {
+        return Err(Error::Invalid("tsne: perplexity must exceed 1"));
+    }
+    // Symmetrised affinities P.
+    let d2 = x.pairwise_sq_dists(x).expect("self distances");
+    let mut p = Mat::zeros(n, n);
+    let mut row = vec![0.0; n];
+    let perp = cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+    for i in 0..n {
+        row_affinities(d2.row(i), i, perp, &mut row);
+        for j in 0..n {
+            p[(i, j)] = row[j];
+        }
+    }
+    // P = (P + Pᵀ) / 2N, floored for numerical stability.
+    let pt = p.transpose();
+    let mut pj = p.add(&pt).expect("same shape").scale(0.5 / n as f64);
+    for v in pj.as_mut_slice() {
+        *v = v.max(1e-12);
+    }
+
+    // Gradient descent with momentum.
+    let mut y = rgae_linalg::standard_normal(n, 2, rng).scale(1e-2);
+    let mut vel = Mat::zeros(n, 2);
+    for it in 0..cfg.iterations {
+        let exag = if it < cfg.exaggeration_iters { 12.0 } else { 1.0 };
+        // Student-t affinities Q (unnormalised num, then normalised).
+        let yd2 = y.pairwise_sq_dists(&y).expect("self distances");
+        let mut num = yd2.map(|v| 1.0 / (1.0 + v));
+        for i in 0..n {
+            num[(i, i)] = 0.0;
+        }
+        let z: f64 = num.sum();
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) num_ij (y_i − y_j).
+        let mut grad = Mat::zeros(n, 2);
+        for i in 0..n {
+            let yi0 = y[(i, 0)];
+            let yi1 = y[(i, 1)];
+            let mut g0 = 0.0;
+            let mut g1 = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = num[(i, j)] / z;
+                let coeff = (exag * pj[(i, j)] - q) * num[(i, j)];
+                g0 += coeff * (yi0 - y[(j, 0)]);
+                g1 += coeff * (yi1 - y[(j, 1)]);
+            }
+            grad[(i, 0)] = 4.0 * g0;
+            grad[(i, 1)] = 4.0 * g1;
+        }
+        let momentum = if it < 60 { 0.5 } else { 0.8 };
+        for idx in 0..n * 2 {
+            let v = momentum * vel.as_slice()[idx] - cfg.learning_rate * grad.as_slice()[idx];
+            vel.as_mut_slice()[idx] = v;
+            y.as_mut_slice()[idx] += v;
+        }
+        // Re-centre.
+        let means = y.col_means();
+        for i in 0..n {
+            y[(i, 0)] -= means[0];
+            y[(i, 1)] -= means[1];
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs must stay separated in 2-D:
+    /// mean inter-cluster distance ≫ mean intra-cluster distance.
+    #[test]
+    fn preserves_blob_structure() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3 {
+            for _ in 0..25 {
+                let mut p = vec![0.0; 8];
+                p[c] = 20.0;
+                for v in p.iter_mut() {
+                    *v += rng.normal_with(0.0, 0.5);
+                }
+                rows.push(p);
+                labels.push(c);
+            }
+        }
+        let x = Mat::from_rows(&rows).unwrap();
+        let cfg = TsneConfig {
+            iterations: 250,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&x, &cfg, &mut rng).unwrap();
+        assert_eq!(y.shape(), (75, 2));
+        assert!(y.all_finite());
+
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..75 {
+            for j in i + 1..75 {
+                let d = y.row_sq_dist(i, y.row(j)).sqrt();
+                if labels[i] == labels[j] {
+                    intra.0 += d;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += d;
+                    inter.1 += 1;
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            inter_mean > 2.0 * intra_mean,
+            "inter {inter_mean} vs intra {intra_mean}"
+        );
+    }
+
+    #[test]
+    fn output_is_centred() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let x = rgae_linalg::standard_normal(30, 5, &mut rng);
+        let y = tsne(&x, &TsneConfig { iterations: 50, ..TsneConfig::default() }, &mut rng)
+            .unwrap();
+        let means = y.col_means();
+        assert!(means[0].abs() < 1e-9 && means[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_tiny_inputs() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let x = Mat::zeros(3, 2);
+        assert!(tsne(&x, &TsneConfig::default(), &mut rng).is_err());
+        let x = Mat::zeros(10, 2);
+        let bad = TsneConfig {
+            perplexity: 0.5,
+            ..TsneConfig::default()
+        };
+        assert!(tsne(&x, &bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng_data = Rng64::seed_from_u64(4);
+        let x = rgae_linalg::standard_normal(20, 4, &mut rng_data);
+        let cfg = TsneConfig { iterations: 40, ..TsneConfig::default() };
+        let mut r1 = Rng64::seed_from_u64(5);
+        let mut r2 = Rng64::seed_from_u64(5);
+        let y1 = tsne(&x, &cfg, &mut r1).unwrap();
+        let y2 = tsne(&x, &cfg, &mut r2).unwrap();
+        assert!(y1.max_abs_diff(&y2) < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Operator cost benches: Ξ is O(N·K) given soft assignments (O(N·K²·d)
+//! with the Eq. 15 kernel) and Υ is O(N(d+K) + |E|(N+K)) worst-case — both
+//! negligible next to the O(N²) decoder loss. Sweeping N shows the
+//! near-linear growth that backs Table 5's "no significant overhead" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgae_core::{upsilon, xi, UpsilonConfig, XiConfig};
+use rgae_cluster::gaussian_soft_assignments;
+use rgae_datasets::{citation_like, CitationSpec};
+use rgae_linalg::Rng64;
+
+fn spec(n: usize) -> CitationSpec {
+    CitationSpec {
+        name: format!("bench-{n}"),
+        num_nodes: n,
+        num_classes: 5,
+        num_features: 64,
+        avg_degree: 4.0,
+        homophily: 0.8,
+        degree_power: 2.6,
+        words_per_node: 10,
+        topic_purity: 0.8,
+        class_proportions: vec![],
+    }
+}
+
+fn bench_xi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xi");
+    group.sample_size(30);
+    for n in [200usize, 400, 800] {
+        let graph = citation_like(&spec(n), 1).unwrap();
+        let mut rng = Rng64::seed_from_u64(2);
+        // Fake embeddings + hard clusters to build the Eq. 15 kernel.
+        let z = rgae_linalg::standard_normal(n, 16, &mut rng);
+        let hard: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let p = gaussian_soft_assignments(&z, &hard, 5).unwrap();
+        let cfg = XiConfig::new(0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| xi(std::hint::black_box(&p), &cfg).unwrap())
+        });
+        let _ = graph;
+    }
+    group.finish();
+}
+
+fn bench_xi_with_kernel(c: &mut Criterion) {
+    // Ξ including the O(N·K²·d) Eq. 15 soft-assignment construction — the
+    // complexity the paper quotes for Algorithm 1.
+    let mut group = c.benchmark_group("xi_with_eq15_kernel");
+    group.sample_size(20);
+    for n in [200usize, 400, 800] {
+        let mut rng = Rng64::seed_from_u64(3);
+        let z = rgae_linalg::standard_normal(n, 16, &mut rng);
+        let hard: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let cfg = XiConfig::new(0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let p = gaussian_soft_assignments(
+                    std::hint::black_box(&z),
+                    std::hint::black_box(&hard),
+                    5,
+                )
+                .unwrap();
+                xi(&p, &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_upsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upsilon");
+    group.sample_size(20);
+    for n in [200usize, 400, 800] {
+        let graph = citation_like(&spec(n), 4).unwrap();
+        let mut rng = Rng64::seed_from_u64(5);
+        let z = rgae_linalg::standard_normal(n, 16, &mut rng);
+        let hard: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let p = gaussian_soft_assignments(&z, &hard, 5).unwrap();
+        let omega: Vec<usize> = (0..n).filter(|i| i % 3 != 0).collect();
+        let cfg = UpsilonConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                upsilon(
+                    std::hint::black_box(graph.adjacency()),
+                    &p,
+                    &z,
+                    &omega,
+                    &cfg,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xi, bench_xi_with_kernel, bench_upsilon);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figures 11 & 12: sensitivity of R-GMM-VGAE and R-DGAE to the Ξ
+//! confidence thresholds α₁ ∈ {0.1 … 0.4} and α₂ ∈ {0.05 … 0.25} on
+//! cora-like.
+
+use rgae_core::RTrainer;
+use rgae_linalg::Rng64;
+use rgae_models::TrainData;
+use rgae_viz::CsvWriter;
+use rgae_xp::{pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let dataset = DatasetKind::CoraLike;
+    let graph = dataset.build(opts.dataset_scale(), opts.seed);
+    let data = TrainData::from_graph(&graph);
+    let alpha1s: Vec<f64> = if opts.quick {
+        vec![0.1, 0.3]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4]
+    };
+    let alpha2s: Vec<f64> = if opts.quick {
+        vec![0.05, 0.15]
+    } else {
+        vec![0.05, 0.10, 0.15, 0.20, 0.25]
+    };
+
+    let mut rows = Vec::new();
+    let mut csv = CsvWriter::create(
+        opts.out_dir.join("fig11_12.csv"),
+        &["model", "alpha1", "alpha2", "acc", "nmi", "ari"],
+    )
+    .expect("csv");
+
+    for model in [ModelKind::GmmVgae, ModelKind::Dgae] {
+        let base_cfg = rconfig_for(model, dataset, opts.quick);
+        let mut rng = Rng64::seed_from_u64(opts.seed);
+        let trainer = RTrainer::new(base_cfg.clone());
+        let mut pretrained = model.build(data.num_features(), graph.num_classes(), &mut rng);
+        trainer
+            .pretrain(pretrained.as_mut(), &data, &mut rng)
+            .unwrap();
+        for &a1 in &alpha1s {
+            for &a2 in &alpha2s {
+                let mut cfg = base_cfg.clone();
+                cfg.xi.alpha1 = a1;
+                cfg.xi.alpha2 = a2;
+                let mut variant = pretrained.clone_box();
+                let mut rng_v = Rng64::seed_from_u64(opts.seed ^ 0x11);
+                let report = RTrainer::new(cfg)
+                    .train_clustering_phase(variant.as_mut(), &graph, &data, &mut rng_v)
+                    .unwrap();
+                let m = report.final_metrics;
+                eprintln!("  R-{} a1={a1} a2={a2}: {m}", model.name());
+                csv.row_strs(&[
+                    model.name().into(),
+                    a1.to_string(),
+                    a2.to_string(),
+                    format!("{:.4}", m.acc),
+                    format!("{:.4}", m.nmi),
+                    format!("{:.4}", m.ari),
+                ])
+                .expect("csv row");
+                rows.push(vec![
+                    format!("R-{}", model.name()),
+                    a1.to_string(),
+                    a2.to_string(),
+                    pct(m.acc),
+                    pct(m.nmi),
+                    pct(m.ari),
+                ]);
+            }
+        }
+    }
+    csv.finish().expect("csv flush");
+    print_table(
+        "Figures 11-12: sensitivity to alpha1/alpha2 (cora-like)",
+        &["method", "alpha1", "alpha2", "ACC", "NMI", "ARI"],
+        &rows,
+    );
+}

@@ -1,0 +1,88 @@
+//! Operator anatomy: Ξ and Υ applied standalone, step by step, on a graph
+//! small enough to read. Shows exactly what the two operators do before
+//! they are wired into a trainer.
+//!
+//! ```text
+//! cargo run --release -p rgae-xp --example operator_anatomy
+//! ```
+
+use rgae_core::{upsilon, xi, UpsilonConfig, XiConfig};
+use rgae_graph::GraphStats;
+use rgae_linalg::{Csr, Mat};
+
+fn main() {
+    // Two "communities" of four nodes each, one noisy bridge (3–4), and a
+    // node (7) sitting between the clusters in embedding space.
+    let a = Csr::adjacency_from_edges(
+        8,
+        &[
+            (0, 1), (1, 2), (2, 3), (0, 2), // community A
+            (4, 5), (5, 6), (4, 6),         // community B
+            (3, 4),                         // clustering-irrelevant bridge
+            (6, 7),                         // 7 loosely attached to B
+        ],
+    )
+    .expect("valid edges");
+    let z = Mat::from_rows(&[
+        vec![0.0, 0.0],
+        vec![0.3, 0.1],
+        vec![0.1, 0.3],
+        vec![0.4, 0.4],
+        vec![5.0, 5.0],
+        vec![5.3, 4.9],
+        vec![4.8, 5.2],
+        vec![2.6, 2.6], // borderline
+    ])
+    .expect("rows");
+    // Soft assignments (e.g. from a clustering head).
+    let p = Mat::from_rows(&[
+        vec![0.95, 0.05],
+        vec![0.92, 0.08],
+        vec![0.90, 0.10],
+        vec![0.80, 0.20],
+        vec![0.08, 0.92],
+        vec![0.05, 0.95],
+        vec![0.10, 0.90],
+        vec![0.48, 0.52], // almost undecidable
+    ])
+    .expect("rows");
+
+    // --- Ξ: who is decidable? -------------------------------------------
+    let cfg = XiConfig::new(0.6); // α₁ = 0.6, α₂ = 0.3
+    let omega = xi(&p, &cfg).expect("valid thresholds");
+    println!("Xi with alpha1 = {}, alpha2 = {}:", cfg.alpha1, cfg.alpha2);
+    for i in 0..8 {
+        let lam1 = omega.lambda1[i];
+        let lam2 = omega.lambda2[i];
+        let mark = if omega.indices.contains(&i) { "DECIDABLE" } else { "-" };
+        println!("  node {i}: lambda1 = {lam1:.2}, margin = {:.2}  {mark}", lam1 - lam2);
+    }
+    println!(
+        "Omega = {:?} ({} of 8 nodes)\n",
+        omega.indices,
+        omega.len()
+    );
+
+    // --- Υ: rewrite the self-supervision graph ----------------------------
+    let labels = [0, 0, 0, 0, 1, 1, 1, 1];
+    let before = GraphStats::compute(&a, &labels);
+    let out = upsilon(&a, &p, &z, &omega.indices, &UpsilonConfig::default())
+        .expect("consistent inputs");
+    let after = GraphStats::compute(&out.graph, &labels);
+    println!("Upsilon:");
+    println!("  centroid nodes per cluster: {:?}", out.centroids);
+    println!("  added edges  : {:?}", out.added);
+    println!("  dropped edges: {:?}", out.dropped);
+    println!(
+        "  edges {} -> {}, false links {} -> {}",
+        before.num_edges, after.num_edges, before.false_links, after.false_links
+    );
+    println!();
+    println!("Things to notice:");
+    println!("  * node 7 (thin margin) is excluded from Omega, so its noisy");
+    println!("    assignment cannot corrupt the rewritten graph;");
+    println!("  * the bridge 3-4 connects two decidable nodes from different");
+    println!("    clusters, so Upsilon drops it;");
+    println!("  * every decidable node ends up linked to its cluster's");
+    println!("    centroid node, forming the star sub-graphs of Fig. 4.");
+}

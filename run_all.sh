@@ -1,0 +1,14 @@
+#!/bin/bash
+cd /root/repo
+set -x
+timeout 2400 cargo run --release -p rgae-xp --bin table1_2 -- --dataset pubmed-like --out results/pubmed_fix > results/logs/table1_2_pubmed.log 2>&1
+for b in table3_4 table6 table7 table8 table9 fig4 fig9 fig13; do
+  timeout 2000 cargo run --release -p rgae-xp --bin $b > results/logs/$b.log 2>&1
+done
+timeout 1200 cargo run --release -p rgae-xp --bin table5 -- --trials 5 > results/logs/table5.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin fig5_6 -- --scale 0.25 > results/logs/fig5_6.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin fig7_8 -- --scale 0.25 > results/logs/fig7_8.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin fig11_12 -- --scale 0.25 > results/logs/fig11_12.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin table17 -- --scale 0.3 --trials 2 > results/logs/table17.log 2>&1
+timeout 1200 cargo run --release -p rgae-xp --bin fig10 -- --scale 0.2 > results/logs/fig10.log 2>&1
+echo ALL DONE
