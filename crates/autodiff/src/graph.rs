@@ -545,7 +545,9 @@ impl Graph {
             }
             Op::Relu(a) => {
                 let a = *a;
-                let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                let mask = self.nodes[a.0]
+                    .value
+                    .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                 self.accum(a, g.hadamard(&mask)?);
             }
             Op::Sigmoid(a) => {
@@ -705,8 +707,7 @@ impl Graph {
                         for (j, t) in target.row_iter(i) {
                             let v = x[(i, j)];
                             let s = sigmoid(v);
-                            dx[(i, j)] =
-                                gs * (pos_weight * t * (s - 1.0) + (1.0 - t) * s);
+                            dx[(i, j)] = gs * (pos_weight * t * (s - 1.0) + (1.0 - t) * s);
                         }
                     }
                     self.accum(logits, dx);
@@ -844,7 +845,10 @@ mod tests {
         let y = g.gather_rows(x, &[2, 2, 0]).unwrap();
         let s = g.sum(y);
         g.backward(s).unwrap();
-        assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+        assert_eq!(
+            g.grad(x).unwrap().as_slice(),
+            &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]
+        );
     }
 
     #[test]
@@ -891,9 +895,7 @@ mod tests {
         let loss = g.bce_logits_sparse(x, &t, 3.0, 0.7).unwrap();
         // Naive: mean over 4 entries of pw·t·sp(−x) + (1−t)·sp(x), × norm.
         let sp = softplus;
-        let expect = 0.7
-            * (3.0 * sp(-0.5) + sp(-1.0) + sp(2.0) + 3.0 * sp(0.0))
-            / 4.0;
+        let expect = 0.7 * (3.0 * sp(-0.5) + sp(-1.0) + sp(2.0) + 3.0 * sp(0.0)) / 4.0;
         assert!((g.scalar(loss) - expect).abs() < 1e-12);
     }
 

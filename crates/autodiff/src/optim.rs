@@ -108,12 +108,8 @@ mod tests {
         let mut p = Mat::from_vec(1, 2, vec![5.0, -3.0]).unwrap();
         for _ in 0..500 {
             // f(p) = ||p - (1, 2)||²; grad = 2(p - target).
-            let grad = Mat::from_vec(
-                1,
-                2,
-                vec![2.0 * (p[(0, 0)] - 1.0), 2.0 * (p[(0, 1)] - 2.0)],
-            )
-            .unwrap();
+            let grad = Mat::from_vec(1, 2, vec![2.0 * (p[(0, 0)] - 1.0), 2.0 * (p[(0, 1)] - 2.0)])
+                .unwrap();
             adam.begin_step();
             adam.update(slot, &mut p, &grad);
         }

@@ -81,7 +81,13 @@ fn check_spmm() {
         Csr::from_triplets(
             4,
             4,
-            &[(0, 1, 0.5), (1, 0, 0.5), (2, 3, 1.5), (3, 2, 1.5), (0, 0, 1.0)],
+            &[
+                (0, 1, 0.5),
+                (1, 0, 0.5),
+                (2, 3, 1.5),
+                (3, 2, 1.5),
+                (0, 0, 1.0),
+            ],
         )
         .unwrap(),
     );
@@ -173,7 +179,8 @@ fn check_pairwise_sq_dists() {
     let mu = rand_mat(2, 3, 13);
     grad_check(&[z, mu], |g, v| {
         let d = g.pairwise_sq_dists(v[0], v[1]).unwrap();
-        let w = g.constant(Mat::from_vec(4, 2, (0..8).map(|i| 0.2 + i as f64 * 0.1).collect()).unwrap());
+        let w = g
+            .constant(Mat::from_vec(4, 2, (0..8).map(|i| 0.2 + i as f64 * 0.1).collect()).unwrap());
         let wd = g.hadamard(d, w).unwrap();
         g.sum(wd)
     });
@@ -186,7 +193,9 @@ fn check_gauss_log_pdf() {
     let lv = rand_mat(3, 2, 16).scale(0.3);
     grad_check(&[z, mu, lv], |g, v| {
         let l = g.gauss_log_pdf(v[0], v[1], v[2]).unwrap();
-        let w = g.constant(Mat::from_vec(4, 3, (0..12).map(|i| 0.05 * (i as f64 + 1.0)).collect()).unwrap());
+        let w = g.constant(
+            Mat::from_vec(4, 3, (0..12).map(|i| 0.05 * (i as f64 + 1.0)).collect()).unwrap(),
+        );
         let wl = g.hadamard(l, w).unwrap();
         g.sum(wl)
     });

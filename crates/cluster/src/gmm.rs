@@ -1,8 +1,9 @@
 //! Diagonal-covariance Gaussian mixture fitted with EM.
 
 use rgae_linalg::{Mat, Rng64};
+use rgae_obs::{span, Recorder, NOOP};
 
-use crate::{kmeans, Error, Result};
+use crate::{kmeans_traced, Error, Result};
 
 /// A fitted diagonal-covariance Gaussian mixture model.
 ///
@@ -25,6 +26,20 @@ const VAR_FLOOR: f64 = 1e-6;
 impl GaussianMixture {
     /// Fit by EM, initialised from k-means.
     pub fn fit(points: &Mat, k: usize, max_iter: usize, rng: &mut Rng64) -> Result<Self> {
+        Self::fit_traced(points, k, max_iter, rng, &NOOP)
+    }
+
+    /// [`GaussianMixture::fit`] reporting into a run-log recorder: a
+    /// `gmm_fit` span (with the seeding k-means nested inside), the
+    /// `gmm_em_iterations` counter, and the `gmm_avg_log_likelihood` gauge.
+    pub fn fit_traced(
+        points: &Mat,
+        k: usize,
+        max_iter: usize,
+        rng: &mut Rng64,
+        rec: &dyn Recorder,
+    ) -> Result<Self> {
+        let _gmm = span(rec, "gmm_fit");
         let n = points.rows();
         if k == 0 || n < k {
             return Err(Error::BadClusterCount {
@@ -33,7 +48,7 @@ impl GaussianMixture {
             });
         }
         let d = points.cols();
-        let km = kmeans(points, k, 50, rng)?;
+        let km = kmeans_traced(points, k, 50, rng, rec)?;
         let mut means = km.centroids;
         let mut variances = Mat::full(k, d, 1.0);
         // Initial variances from the k-means partition.
@@ -60,8 +75,10 @@ impl GaussianMixture {
         }
         let mut weights = vec![1.0 / k as f64; k];
         let mut avg_ll = f64::NEG_INFINITY;
+        let mut em_iterations = 0u64;
 
         for _ in 0..max_iter {
+            em_iterations += 1;
             // E step: responsibilities via log-sum-exp.
             let mut resp = Mat::zeros(n, k);
             let mut ll = 0.0;
@@ -117,6 +134,10 @@ impl GaussianMixture {
             if converged {
                 break;
             }
+        }
+        rec.count("gmm_em_iterations", em_iterations);
+        if rec.enabled() {
+            rec.gauge("gmm_avg_log_likelihood", None, avg_ll);
         }
         Ok(GaussianMixture {
             weights,
@@ -198,11 +219,7 @@ mod tests {
         let gmm = GaussianMixture::fit(&x, 2, 100, &mut rng).unwrap();
         let pred = gmm.predict(&x);
         // Up to label permutation the prediction is perfect.
-        let agree = pred
-            .iter()
-            .zip(&labels)
-            .filter(|(&p, &l)| p == l)
-            .count();
+        let agree = pred.iter().zip(&labels).filter(|(&p, &l)| p == l).count();
         let acc = agree.max(pred.len() - agree) as f64 / pred.len() as f64;
         assert!(acc > 0.98, "acc {acc}");
     }

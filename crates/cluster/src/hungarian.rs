@@ -138,11 +138,30 @@ mod tests {
             // Brute force over all 4! permutations.
             let mut best = f64::INFINITY;
             let perms = [
-                [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2],
-                [0, 3, 2, 1], [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0],
-                [1, 3, 0, 2], [1, 3, 2, 0], [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3],
-                [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0], [3, 0, 1, 2], [3, 0, 2, 1],
-                [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+                [0, 1, 2, 3],
+                [0, 1, 3, 2],
+                [0, 2, 1, 3],
+                [0, 2, 3, 1],
+                [0, 3, 1, 2],
+                [0, 3, 2, 1],
+                [1, 0, 2, 3],
+                [1, 0, 3, 2],
+                [1, 2, 0, 3],
+                [1, 2, 3, 0],
+                [1, 3, 0, 2],
+                [1, 3, 2, 0],
+                [2, 0, 1, 3],
+                [2, 0, 3, 1],
+                [2, 1, 0, 3],
+                [2, 1, 3, 0],
+                [2, 3, 0, 1],
+                [2, 3, 1, 0],
+                [3, 0, 1, 2],
+                [3, 0, 2, 1],
+                [3, 1, 0, 2],
+                [3, 1, 2, 0],
+                [3, 2, 0, 1],
+                [3, 2, 1, 0],
             ];
             for p in &perms {
                 let v: f64 = p.iter().enumerate().map(|(i, &j)| c[(i, j)]).sum();

@@ -1,6 +1,7 @@
 //! k-means with k-means++ seeding.
 
 use rgae_linalg::{Mat, Rng64};
+use rgae_obs::{span, Recorder, NOOP};
 
 use crate::{Error, Result};
 
@@ -23,6 +24,19 @@ pub struct KMeansResult {
 /// Empty clusters are re-seeded with the point farthest from its centroid,
 /// so the result always has exactly `k` non-empty clusters when `n ≥ k`.
 pub fn kmeans(points: &Mat, k: usize, max_iter: usize, rng: &mut Rng64) -> Result<KMeansResult> {
+    kmeans_traced(points, k, max_iter, rng, &NOOP)
+}
+
+/// [`kmeans`] reporting into a run-log recorder: a `kmeans` span plus the
+/// `kmeans_iterations` counter and `kmeans_inertia` gauge.
+pub fn kmeans_traced(
+    points: &Mat,
+    k: usize,
+    max_iter: usize,
+    rng: &mut Rng64,
+    rec: &dyn Recorder,
+) -> Result<KMeansResult> {
+    let _kmeans = span(rec, "kmeans");
     let n = points.rows();
     if k == 0 || n < k {
         return Err(Error::BadClusterCount {
@@ -104,9 +118,13 @@ pub fn kmeans(points: &Mat, k: usize, max_iter: usize, rng: &mut Rng64) -> Resul
         }
     }
 
-    let inertia = (0..n)
+    let inertia: f64 = (0..n)
         .map(|i| points.row_sq_dist(i, centroids.row(assignments[i])))
         .sum();
+    rec.count("kmeans_iterations", iterations as u64);
+    if rec.enabled() {
+        rec.gauge("kmeans_inertia", None, inertia);
+    }
     Ok(KMeansResult {
         assignments,
         centroids,

@@ -17,9 +17,9 @@
 
 use std::rc::Rc;
 
-
 use rgae_linalg::{cosine, Csr, Mat};
 use rgae_models::{GaeModel, TrainData};
+use rgae_obs::Recorder;
 
 use crate::{Error, Result};
 
@@ -30,23 +30,45 @@ pub fn q_prime(pred: &[usize], truth: &[usize]) -> Vec<usize> {
     // space; Λ needs truth relabelled into prediction space, which is the
     // inverse permutation. Build it from the same Hungarian mapping.
     let mapping = rgae_cluster::best_mapping(pred, truth);
-    // mapping[pred_cluster] = label; invert (mapping is a permutation over
-    // the padded label space).
+    // mapping[pred_cluster] = label; invert. The Hungarian assignment is a
+    // permutation over the padded label space, but guard the lookup anyway:
+    // if a truth label has no pre-image (or lies outside the mapping, which
+    // unequal pred/truth cluster counts can produce through upstream
+    // padding bugs), fall back to the label itself instead of panicking.
     let k = mapping.len();
-    let mut inverse = vec![0usize; k];
+    let mut inverse: Vec<Option<usize>> = vec![None; k];
     for (p, &l) in mapping.iter().enumerate() {
-        inverse[l] = p;
+        if let Some(slot) = inverse.get_mut(l) {
+            *slot = Some(p);
+        }
     }
-    truth.iter().map(|&t| inverse[t]).collect()
+    truth
+        .iter()
+        .map(|&t| inverse.get(t).copied().flatten().unwrap_or(t))
+        .collect()
 }
 
-/// One-hot row-stochastic matrix from hard labels.
+/// One-hot row-stochastic matrix from hard labels. Out-of-range labels are
+/// clamped to the last class; [`one_hot_targets_counted`] reports how many
+/// rows that affected.
 pub fn one_hot_targets(labels: &[usize], k: usize) -> Mat {
+    one_hot_targets_counted(labels, k).0
+}
+
+/// [`one_hot_targets`] plus the number of labels that were out of range and
+/// had to be clamped to `k - 1`. A non-zero count means the supervised
+/// branch of Λ_FR is being computed against a corrupted target — callers
+/// surface it through the run log as the `label_clamp` counter.
+pub fn one_hot_targets_counted(labels: &[usize], k: usize) -> (Mat, usize) {
     let mut m = Mat::zeros(labels.len(), k);
+    let mut clamped = 0;
     for (i, &l) in labels.iter().enumerate() {
+        if l >= k {
+            clamped += 1;
+        }
         m[(i, l.min(k - 1))] = 1.0;
     }
-    m
+    (m, clamped)
 }
 
 /// Λ_FR at the current parameters.
@@ -54,7 +76,10 @@ pub fn one_hot_targets(labels: &[usize], k: usize) -> Mat {
 /// * `pseudo_target` — the model's own clustering target (DEC `Q`, GMM
 ///   responsibilities), over all nodes;
 /// * `omega` — optional Ξ restriction applied to the pseudo branch;
-/// * `truth` — ground-truth labels.
+/// * `truth` — ground-truth labels;
+/// * `rec` — run-log recorder; any Q′ labels that fall outside the model's
+///   `k` clusters and get clamped are reported as the `label_clamp` counter
+///   (pass [`rgae_obs::NOOP`] when not tracing).
 ///
 /// Returns `None` for first-group models (no clustering head).
 pub fn lambda_fr(
@@ -63,6 +88,7 @@ pub fn lambda_fr(
     pseudo_target: &Mat,
     omega: Option<&[usize]>,
     truth: &[usize],
+    rec: &dyn Recorder,
 ) -> Result<Option<f64>> {
     let Some(grad_pseudo) = model.clustering_grad(data, pseudo_target, omega)? else {
         return Ok(None);
@@ -70,7 +96,8 @@ pub fn lambda_fr(
     // Supervised branch: Q′ one-hot over all nodes.
     let pred = pseudo_target.row_argmax();
     let qp = q_prime(&pred, truth);
-    let supervised = one_hot_targets(&qp, pseudo_target.cols());
+    let (supervised, clamped) = one_hot_targets_counted(&qp, pseudo_target.cols());
+    rec.count("label_clamp", clamped as u64);
     let grad_sup = model
         .clustering_grad(data, &supervised, None)?
         .ok_or(Error::Config("model lost its clustering head mid-run"))?;
@@ -135,5 +162,54 @@ mod tests {
     fn one_hot_clamps_out_of_range() {
         let m = one_hot_targets(&[5], 3);
         assert_eq!(m.row(0), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn one_hot_counted_reports_clamped_rows() {
+        let (m, clamped) = one_hot_targets_counted(&[0, 5, 2, 7], 3);
+        assert_eq!(clamped, 2);
+        assert_eq!(m.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.row(3), &[0.0, 0.0, 1.0]);
+        let (_, none) = one_hot_targets_counted(&[0, 1, 2], 3);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn q_prime_handles_fewer_predicted_clusters() {
+        // Predictions collapse onto a single cluster while truth has three;
+        // the padded Hungarian mapping leaves labels without a pre-image and
+        // the lookup must fall back rather than panic.
+        let pred = [0, 0, 0, 0, 0, 0];
+        let truth = [0, 1, 2, 0, 1, 2];
+        let qp = q_prime(&pred, &truth);
+        assert_eq!(qp.len(), truth.len());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Unequal pred/truth cluster counts must never panic, and the
+        /// output must stay aligned with the input.
+        #[test]
+        fn q_prime_total_on_unequal_cluster_counts(
+            pred in proptest::collection::vec(0usize..4, 1..40),
+            truth_k in 1usize..8,
+            seed in 0u64..1000,
+        ) {
+            let mut s = seed;
+            let truth: Vec<usize> = pred
+                .iter()
+                .map(|_| {
+                    // Cheap deterministic stream, independent of `pred`.
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 33) as usize) % truth_k
+                })
+                .collect();
+            let qp = q_prime(&pred, &truth);
+            prop_assert_eq!(qp.len(), truth.len());
+            // Outputs live in the padded label space.
+            let k = pred.iter().chain(truth.iter()).max().unwrap() + 1;
+            prop_assert!(qp.iter().all(|&l| l < k));
+        }
     }
 }

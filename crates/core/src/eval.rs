@@ -1,10 +1,12 @@
 //! Evaluation helpers shared by the trainer and the experiment harness.
 
 use rgae_cluster::{
-    accuracy, ari, gaussian_soft_assignments, gaussian_soft_assignments_tempered, kmeans, nmi,
+    accuracy, ari, gaussian_soft_assignments, gaussian_soft_assignments_tempered, kmeans_traced,
+    nmi,
 };
 use rgae_linalg::{Mat, Rng64};
 use rgae_models::{GaeModel, TrainData};
+use rgae_obs::{Recorder, NOOP};
 
 use crate::Result;
 
@@ -51,12 +53,27 @@ pub fn soft_assignments_or_kmeans(
     data: &TrainData,
     rng: &mut Rng64,
 ) -> Result<Mat> {
+    soft_assignments_or_kmeans_traced(model, data, rng, &NOOP)
+}
+
+/// [`soft_assignments_or_kmeans`] reporting the k-means fallback (when the
+/// model has no head of its own) into a run-log recorder.
+pub fn soft_assignments_or_kmeans_traced(
+    model: &dyn GaeModel,
+    data: &TrainData,
+    rng: &mut Rng64,
+    rec: &dyn Recorder,
+) -> Result<Mat> {
     if let Some(p) = model.soft_assignments(data)? {
         return Ok(p);
     }
     let z = model.embed(data);
-    let km = kmeans(&z, data.num_classes, 100, rng)?;
-    Ok(gaussian_soft_assignments(&z, &km.assignments, data.num_classes)?)
+    let km = kmeans_traced(&z, data.num_classes, 100, rng, rec)?;
+    Ok(gaussian_soft_assignments(
+        &z,
+        &km.assignments,
+        data.num_classes,
+    )?)
 }
 
 /// Soft assignments as the Ξ operator should see them: the model's own
@@ -68,11 +85,22 @@ pub fn xi_assignments_or_kmeans(
     data: &TrainData,
     rng: &mut Rng64,
 ) -> Result<Mat> {
+    xi_assignments_or_kmeans_traced(model, data, rng, &NOOP)
+}
+
+/// [`xi_assignments_or_kmeans`] reporting the k-means fallback into a
+/// run-log recorder.
+pub fn xi_assignments_or_kmeans_traced(
+    model: &dyn GaeModel,
+    data: &TrainData,
+    rng: &mut Rng64,
+    rec: &dyn Recorder,
+) -> Result<Mat> {
     if let Some(p) = model.xi_assignments(data)? {
         return Ok(p);
     }
     let z = model.embed(data);
-    let km = kmeans(&z, data.num_classes, 100, rng)?;
+    let km = kmeans_traced(&z, data.num_classes, 100, rng, rec)?;
     Ok(gaussian_soft_assignments_tempered(
         &z,
         &km.assignments,
@@ -88,7 +116,19 @@ pub fn evaluate(
     truth: &[usize],
     rng: &mut Rng64,
 ) -> Result<Metrics> {
-    let p = soft_assignments_or_kmeans(model, data, rng)?;
+    evaluate_traced(model, data, truth, rng, &NOOP)
+}
+
+/// [`evaluate`] reporting any clustering fallback work into a run-log
+/// recorder.
+pub fn evaluate_traced(
+    model: &dyn GaeModel,
+    data: &TrainData,
+    truth: &[usize],
+    rng: &mut Rng64,
+    rec: &dyn Recorder,
+) -> Result<Metrics> {
+    let p = soft_assignments_or_kmeans_traced(model, data, rng, rec)?;
     Ok(Metrics::from_predictions(&p.row_argmax(), truth))
 }
 

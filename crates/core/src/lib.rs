@@ -35,11 +35,11 @@ mod trainer;
 mod upsilon;
 mod xi;
 
-pub use diagnostics::{lambda_fd, lambda_fr, one_hot_targets, q_prime};
+pub use diagnostics::{lambda_fd, lambda_fr, one_hot_targets, one_hot_targets_counted, q_prime};
 pub use eval::{evaluate, soft_assignments_or_kmeans, xi_assignments_or_kmeans, Metrics};
 pub use multiplex::{multiplex_self_supervision, upsilon_multiplex, MultiplexUpsilonOutcome};
 pub use trainer::{
-    train_plain, EpochRecord, FdMode, PlainReport, RConfig, RReport, RTrainer,
+    train_plain, train_plain_traced, EpochRecord, FdMode, PlainReport, RConfig, RReport, RTrainer,
 };
 pub use upsilon::{upsilon, UpsilonConfig, UpsilonOutcome};
 pub use xi::{xi, Omega, XiConfig};

@@ -97,8 +97,7 @@ mod tests {
     fn drops_cross_links_in_every_layer() {
         let (g, p, z) = fixture();
         let omega: Vec<usize> = (0..6).collect();
-        let out =
-            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
+        let out = upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
         assert!(!out.graph.layers()[0].contains(2, 3), "layer 0 cross-link");
         assert!(!out.graph.layers()[1].contains(0, 5), "layer 1 cross-link");
         // Intra-cluster structure preserved.
@@ -110,8 +109,7 @@ mod tests {
     fn stars_only_on_backbone() {
         let (g, p, z) = fixture();
         let omega: Vec<usize> = (0..6).collect();
-        let out =
-            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
+        let out = upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
         assert!(out.per_layer[1].added.is_empty(), "layer 1 got stars");
         // Backbone gained any missing centroid links.
         for (c, ctr) in out.per_layer[0].centroids.iter().enumerate() {
@@ -133,8 +131,7 @@ mod tests {
         let labels = [0, 0, 0, 1, 1, 1];
         let omega: Vec<usize> = (0..6).collect();
         let before = rgae_graph::edge_homophily(&g.union_adjacency(), &labels);
-        let out =
-            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
+        let out = upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 0).unwrap();
         let target = multiplex_self_supervision(&out);
         let after = rgae_graph::edge_homophily(&target, &labels);
         assert!(after > before, "homophily {before} -> {after}");
@@ -146,8 +143,7 @@ mod tests {
         let (g, p, z) = fixture();
         let omega: Vec<usize> = (0..6).collect();
         // backbone = 99 clamps to the last layer instead of panicking.
-        let out =
-            upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 99).unwrap();
+        let out = upsilon_multiplex(&g, &p, &z, &omega, &UpsilonConfig::default(), 99).unwrap();
         assert!(out.per_layer[0].added.is_empty());
     }
 }

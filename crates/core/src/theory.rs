@@ -140,12 +140,7 @@ pub fn laplacian_grad_z(z: &Mat, a: &Csr) -> Mat {
     let mut grad = Mat::zeros(n, d);
     for i in 0..n {
         for (j, w) in a.row_iter(i) {
-            for ((g, &zi), &zj) in grad
-                .row_mut(i)
-                .iter_mut()
-                .zip(z.row(i))
-                .zip(z.row(j))
-            {
+            for ((g, &zi), &zj) in grad.row_mut(i).iter_mut().zip(z.row(i)).zip(z.row(j)) {
                 *g += w * (zi - zj);
             }
         }
@@ -175,11 +170,7 @@ pub fn numeric_grad(z: &Mat, f: impl Fn(&Mat) -> f64) -> Mat {
 pub fn fr_metric_at(z: &Mat, a_clus: &Csr, a_sup: &Csr, i: usize) -> f64 {
     let gc = laplacian_grad_z(z, a_clus);
     let gs = laplacian_grad_z(z, a_sup);
-    gc.row(i)
-        .iter()
-        .zip(gs.row(i))
-        .map(|(&a, &b)| a * b)
-        .sum()
+    gc.row(i).iter().zip(gs.row(i)).map(|(&a, &b)| a * b).sum()
 }
 
 /// Definition 2's elementary FD metric at node `i`:

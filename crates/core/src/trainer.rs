@@ -14,17 +14,27 @@
 //! evaluates: Ξ delays (Table 6), single-step protection against FD
 //! (Table 7), the α ablations (Table 8), and the add/drop ablations
 //! (Table 9).
+//!
+//! Both trainers report into a [`Recorder`] (default: the no-op recorder):
+//! phase spans (`pretrain`, `init_head`, `clustering` with nested
+//! `xi`/`upsilon`/`step`/`record` scopes), one [`rgae_obs::Event::Epoch`]
+//! per clustering epoch, the `omega_size` gauge, `edges_added`/
+//! `edges_dropped`/`label_clamp` counters, a convergence event, and a
+//! closing run summary. Wall-clock `train_seconds` comes from the
+//! `clustering` span, which measures even when tracing is off.
 
 use std::rc::Rc;
-use std::time::Instant;
 
 use rgae_cluster::accuracy;
 use rgae_graph::{AttributedGraph, GraphStats};
 use rgae_linalg::{Csr, Rng64};
 use rgae_models::{ClusterStep, GaeModel, StepSpec, TrainData};
+use rgae_obs::{span, EpochEvent, Event, Recorder, RunSummary, NOOP};
 
-use crate::diagnostics::{lambda_fd, lambda_fr, one_hot_targets, q_prime};
-use crate::eval::{evaluate, soft_assignments_or_kmeans, xi_assignments_or_kmeans, Metrics};
+use crate::diagnostics::{lambda_fd, lambda_fr, one_hot_targets_counted, q_prime};
+use crate::eval::{
+    evaluate_traced, soft_assignments_or_kmeans_traced, xi_assignments_or_kmeans_traced, Metrics,
+};
 use crate::upsilon::{upsilon, UpsilonConfig};
 use crate::xi::{xi, Omega, XiConfig};
 use crate::Result;
@@ -144,6 +154,65 @@ impl RConfig {
         cfg
     }
 
+    /// The full configuration as JSON, for the run manifest. Every switch
+    /// the trainer consults appears here so a run log alone is enough to
+    /// reproduce the protocol variant.
+    pub fn to_json(&self) -> rgae_obs::Json {
+        use rgae_obs::Json;
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        obj(vec![
+            (
+                "xi",
+                obj(vec![
+                    ("alpha1", Json::Num(self.xi.alpha1)),
+                    ("alpha2", Json::Num(self.xi.alpha2)),
+                    ("use_alpha1", Json::Bool(self.xi.use_alpha1)),
+                    ("use_alpha2", Json::Bool(self.xi.use_alpha2)),
+                ]),
+            ),
+            (
+                "upsilon",
+                obj(vec![
+                    ("add_edges", Json::Bool(self.upsilon.add_edges)),
+                    ("drop_edges", Json::Bool(self.upsilon.drop_edges)),
+                ]),
+            ),
+            ("m1", Json::Int(self.m1 as i64)),
+            ("m2", Json::Int(self.m2 as i64)),
+            ("gamma", Json::Num(self.gamma)),
+            ("pretrain_epochs", Json::Int(self.pretrain_epochs as i64)),
+            ("max_epochs", Json::Int(self.max_epochs as i64)),
+            ("min_epochs", Json::Int(self.min_epochs as i64)),
+            ("convergence", Json::Num(self.convergence)),
+            ("delay_xi", Json::Int(self.delay_xi as i64)),
+            ("use_xi", Json::Bool(self.use_xi)),
+            ("use_upsilon", Json::Bool(self.use_upsilon)),
+            (
+                "fd_mode",
+                Json::Str(
+                    match self.fd_mode {
+                        FdMode::GradualCorrection => "gradual_correction",
+                        FdMode::SingleStepProtection => "single_step_protection",
+                    }
+                    .to_owned(),
+                ),
+            ),
+            ("track_diagnostics", Json::Bool(self.track_diagnostics)),
+            ("eval_every", Json::Int(self.eval_every as i64)),
+            (
+                "snapshot_epochs",
+                Json::Arr(
+                    self.snapshot_epochs
+                        .iter()
+                        .map(|&e| Json::Int(e as i64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Shrink epoch counts for smoke tests and `--quick` harness runs.
     pub fn quick(mut self) -> Self {
         self.pretrain_epochs = self.pretrain_epochs.min(60);
@@ -185,6 +254,28 @@ pub struct EpochRecord {
     pub lambda_fd_current: Option<f64>,
     /// Λ_FD of the vanilla graph `A` vs Υ(A, Q′, 𝒱).
     pub lambda_fd_vanilla: Option<f64>,
+}
+
+impl EpochRecord {
+    /// The run-log view of this record.
+    pub fn to_event(&self) -> EpochEvent {
+        EpochEvent {
+            epoch: self.epoch,
+            loss: self.loss,
+            omega_size: self.omega_size,
+            omega_acc: self.omega_acc,
+            rest_acc: self.rest_acc,
+            added_links: self.added_links,
+            dropped_links: self.dropped_links,
+            acc: self.metrics.as_ref().map(|m| m.acc),
+            nmi: self.metrics.as_ref().map(|m| m.nmi),
+            ari: self.metrics.as_ref().map(|m| m.ari),
+            lambda_fr_restricted: self.lambda_fr_restricted,
+            lambda_fr_full: self.lambda_fr_full,
+            lambda_fd_current: self.lambda_fd_current,
+            lambda_fd_vanilla: self.lambda_fd_vanilla,
+        }
+    }
 }
 
 /// Outcome of an R run.
@@ -250,11 +341,15 @@ fn supervised_graph(
     z: &rgae_linalg::Mat,
     p: &rgae_linalg::Mat,
     truth: &[usize],
+    rec: &dyn Recorder,
 ) -> Result<Rc<Csr>> {
     let pred = p.row_argmax();
     let qp = q_prime(&pred, truth);
-    let k = data.num_classes.max(qp.iter().copied().max().unwrap_or(0) + 1);
-    let one_hot = one_hot_targets(&qp, k);
+    let k = data
+        .num_classes
+        .max(qp.iter().copied().max().unwrap_or(0) + 1);
+    let (one_hot, clamped) = one_hot_targets_counted(&qp, k);
+    rec.count("label_clamp", clamped as u64);
     let all: Vec<usize> = (0..data.num_nodes).collect();
     let out = upsilon(
         &data.adjacency,
@@ -267,19 +362,32 @@ fn supervised_graph(
 }
 
 /// The generic R-𝒟 trainer.
-pub struct RTrainer {
+pub struct RTrainer<'a> {
     cfg: RConfig,
+    rec: &'a dyn Recorder,
 }
 
-impl RTrainer {
-    /// Build from a configuration.
+impl RTrainer<'static> {
+    /// Build from a configuration, with the no-op recorder.
     pub fn new(cfg: RConfig) -> Self {
-        RTrainer { cfg }
+        RTrainer { cfg, rec: &NOOP }
+    }
+}
+
+impl<'a> RTrainer<'a> {
+    /// Build from a configuration and a run-log recorder.
+    pub fn with_recorder(cfg: RConfig, rec: &'a dyn Recorder) -> Self {
+        RTrainer { cfg, rec }
     }
 
     /// Borrow the configuration.
     pub fn config(&self) -> &RConfig {
         &self.cfg
+    }
+
+    /// The recorder this trainer reports into.
+    pub fn recorder(&self) -> &'a dyn Recorder {
+        self.rec
     }
 
     /// Pretrain only (vanilla reconstruction + head initialisation). Useful
@@ -291,9 +399,13 @@ impl RTrainer {
         rng: &mut Rng64,
     ) -> Result<()> {
         let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
-        for _ in 0..self.cfg.pretrain_epochs {
-            model.train_step(data, &spec, rng)?;
+        {
+            let _pretrain = span(self.rec, "pretrain");
+            for _ in 0..self.cfg.pretrain_epochs {
+                model.train_step(data, &spec, rng)?;
+            }
         }
+        let _init = span(self.rec, "init_head");
         model.init_clustering(data, rng)?;
         Ok(())
     }
@@ -320,10 +432,14 @@ impl RTrainer {
         rng: &mut Rng64,
     ) -> Result<RReport> {
         let cfg = &self.cfg;
+        let rec = self.rec;
         let truth = graph.labels();
         let n = data.num_nodes;
         let all_nodes: Vec<usize> = (0..n).collect();
-        let pretrain_metrics = evaluate(model, data, truth, rng)?;
+        let pretrain_metrics = {
+            let _eval = span(rec, "eval");
+            evaluate_traced(model, data, truth, rng, rec)?
+        };
 
         let mut a_self: Rc<Csr> = Rc::clone(&data.adjacency);
         let mut omega = Omega {
@@ -331,16 +447,19 @@ impl RTrainer {
             lambda1: vec![1.0; n],
             lambda2: vec![0.0; n],
         };
-        let mut epochs = Vec::new();
+        let mut epochs: Vec<EpochRecord> = Vec::new();
         let mut snapshots = Vec::new();
         let mut converged_at = None;
-        let start = Instant::now();
+        let clustering = span(rec, "clustering");
 
         // Table 7 protection variant: one-shot Υ(A, P, 𝒱) before training.
         if cfg.use_upsilon && cfg.fd_mode == FdMode::SingleStepProtection {
-            let p = soft_assignments_or_kmeans(model, data, rng)?;
+            let _upsilon = span(rec, "upsilon");
+            let p = soft_assignments_or_kmeans_traced(model, data, rng, rec)?;
             let z = model.embed(data);
             let out = upsilon(&data.adjacency, &p, &z, &all_nodes, &cfg.upsilon)?;
+            rec.count("edges_added", out.added.len() as u64);
+            rec.count("edges_dropped", out.dropped.len() as u64);
             a_self = Rc::new(out.graph);
         }
 
@@ -353,7 +472,8 @@ impl RTrainer {
             // Refresh Ω every M₁ epochs (Ω = 𝒱 while Ξ is inactive).
             if epoch % cfg.m1 == 0 {
                 if xi_active {
-                    let p = xi_assignments_or_kmeans(model, data, rng)?;
+                    let _xi = span(rec, "xi");
+                    let p = xi_assignments_or_kmeans_traced(model, data, rng, rec)?;
                     let candidate = xi(&p, &cfg.xi)?;
                     if !candidate.is_empty() {
                         omega = candidate;
@@ -368,17 +488,18 @@ impl RTrainer {
             }
 
             // Refresh A^self_clus every M₂ epochs (gradual correction mode).
-            if cfg.use_upsilon
-                && cfg.fd_mode == FdMode::GradualCorrection
-                && epoch % cfg.m2 == 0
-            {
-                let p = soft_assignments_or_kmeans(model, data, rng)?;
+            if cfg.use_upsilon && cfg.fd_mode == FdMode::GradualCorrection && epoch % cfg.m2 == 0 {
+                let _upsilon = span(rec, "upsilon");
+                let p = soft_assignments_or_kmeans_traced(model, data, rng, rec)?;
                 let z = model.embed(data);
                 let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &cfg.upsilon)?;
+                rec.count("edges_added", out.added.len() as u64);
+                rec.count("edges_dropped", out.dropped.len() as u64);
                 a_self = Rc::new(out.graph);
             }
 
             // One optimisation step.
+            let step_t = span(rec, "step");
             let cluster = match model.cluster_target(data)? {
                 Some(target) => Some(ClusterStep {
                     target,
@@ -396,11 +517,17 @@ impl RTrainer {
                 cluster,
             };
             let loss = model.train_step(data, &spec, rng)?;
+            step_t.stop();
 
             // Bookkeeping.
-            let record = self.record_epoch(
-                model, data, graph, epoch, loss, &omega, &a_self, rng,
-            )?;
+            let record = {
+                let _record = span(rec, "record");
+                self.record_epoch(model, data, graph, epoch, loss, &omega, &a_self, rng)?
+            };
+            if rec.enabled() {
+                rec.record(&Event::Epoch(record.to_event()));
+                rec.gauge("omega_size", Some(epoch), omega.len() as f64);
+            }
             epochs.push(record);
 
             if converged_at.is_none()
@@ -408,14 +535,30 @@ impl RTrainer {
                 && omega.coverage(n) >= cfg.convergence
             {
                 converged_at = Some(epoch);
+                if rec.enabled() {
+                    rec.record(&Event::Convergence { epoch });
+                }
                 break;
             }
         }
-        let train_seconds = start.elapsed().as_secs_f64();
+        let train_seconds = clustering.stop();
         if cfg.snapshot_epochs.iter().any(|&e| e >= cfg.max_epochs) {
             snapshots.push((cfg.max_epochs, model.embed(data), Rc::clone(&a_self)));
         }
-        let final_metrics = evaluate(model, data, truth, rng)?;
+        let final_metrics = {
+            let _eval = span(rec, "eval");
+            evaluate_traced(model, data, truth, rng, rec)?
+        };
+        if rec.enabled() {
+            rec.record(&Event::RunEnd(RunSummary {
+                train_seconds,
+                converged_at,
+                epochs_run: epochs.len(),
+                final_acc: final_metrics.acc,
+                final_nmi: final_metrics.nmi,
+                final_ari: final_metrics.ari,
+            }));
+        }
         Ok(RReport {
             pretrain_metrics,
             final_metrics,
@@ -442,7 +585,9 @@ impl RTrainer {
         let cfg = &self.cfg;
         let truth = graph.labels();
         let n = data.num_nodes;
-        let p = soft_assignments_or_kmeans(model, data, rng)?;
+
+        let eval_t = span(self.rec, "eval");
+        let p = soft_assignments_or_kmeans_traced(model, data, rng, self.rec)?;
         let pred = p.row_argmax();
 
         let eval_now = epoch.is_multiple_of(cfg.eval_every);
@@ -469,15 +614,17 @@ impl RTrainer {
         let dropped = edge_diff(a_self, &data.adjacency);
         let added_links = split_links(&added, truth);
         let dropped_links = split_links(&dropped, truth);
+        eval_t.stop();
 
         let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
         if cfg.track_diagnostics {
+            let _diag = span(self.rec, "diagnostics");
             let z = model.embed(data);
             if let Some(target) = model.cluster_target(data)? {
-                fr_r = lambda_fr(model, data, &target, Some(&omega.indices), truth)?;
-                fr_full = lambda_fr(model, data, &target, None, truth)?;
+                fr_r = lambda_fr(model, data, &target, Some(&omega.indices), truth, self.rec)?;
+                fr_full = lambda_fr(model, data, &target, None, truth, self.rec)?;
             }
-            let sup = supervised_graph(data, &z, &p, truth)?;
+            let sup = supervised_graph(data, &z, &p, truth, self.rec)?;
             fd_cur = Some(lambda_fd(model, data, a_self, &sup)?);
             fd_van = Some(lambda_fd(model, data, &data.adjacency, &sup)?);
         }
@@ -511,22 +658,45 @@ pub fn train_plain(
     cfg: &RConfig,
     rng: &mut Rng64,
 ) -> Result<PlainReport> {
+    train_plain_traced(model, graph, cfg, rng, &NOOP)
+}
+
+/// [`train_plain`] with a run-log recorder (spans, epoch events, and the
+/// closing run summary, mirroring the R trainer's trace).
+#[allow(clippy::too_many_lines)]
+pub fn train_plain_traced(
+    model: &mut dyn GaeModel,
+    graph: &AttributedGraph,
+    cfg: &RConfig,
+    rng: &mut Rng64,
+    rec: &dyn Recorder,
+) -> Result<PlainReport> {
     let data = TrainData::from_graph(graph);
     let truth = graph.labels();
     let spec_pre = StepSpec::pretrain(Rc::clone(&data.adjacency));
-    for _ in 0..cfg.pretrain_epochs {
-        model.train_step(&data, &spec_pre, rng)?;
+    {
+        let _pretrain = span(rec, "pretrain");
+        for _ in 0..cfg.pretrain_epochs {
+            model.train_step(&data, &spec_pre, rng)?;
+        }
     }
-    model.init_clustering(&data, rng)?;
-    let pretrain_metrics = evaluate(model, &data, truth, rng)?;
+    {
+        let _init = span(rec, "init_head");
+        model.init_clustering(&data, rng)?;
+    }
+    let pretrain_metrics = {
+        let _eval = span(rec, "eval");
+        evaluate_traced(model, &data, truth, rng, rec)?
+    };
 
-    let mut epochs = Vec::new();
+    let mut epochs: Vec<EpochRecord> = Vec::new();
     let mut snapshots = Vec::new();
-    let start = Instant::now();
+    let clustering = span(rec, "clustering");
     for epoch in 0..cfg.max_epochs {
         if cfg.snapshot_epochs.contains(&epoch) {
             snapshots.push((epoch, model.embed(&data)));
         }
+        let step_t = span(rec, "step");
         let cluster = model.cluster_target(&data)?.map(|target| ClusterStep {
             target,
             omega: None,
@@ -537,25 +707,31 @@ pub fn train_plain(
             cluster,
         };
         let loss = model.train_step(&data, &spec, rng)?;
+        step_t.stop();
 
-        let p = soft_assignments_or_kmeans(model, &data, rng)?;
+        let record_t = span(rec, "record");
+        let eval_t = span(rec, "eval");
+        let p = soft_assignments_or_kmeans_traced(model, &data, rng, rec)?;
         let pred = p.row_argmax();
-        let metrics = epoch.is_multiple_of(cfg.eval_every)
+        let metrics = epoch
+            .is_multiple_of(cfg.eval_every)
             .then(|| Metrics::from_predictions(&pred, truth));
+        eval_t.stop();
         let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
         let mut omega_size = data.num_nodes;
         if cfg.track_diagnostics {
-            let p_xi = xi_assignments_or_kmeans(model, &data, rng)?;
+            let _diag = span(rec, "diagnostics");
+            let p_xi = xi_assignments_or_kmeans_traced(model, &data, rng, rec)?;
             let omega = xi(&p_xi, &cfg.xi)?;
             omega_size = omega.len();
             let z = model.embed(&data);
             if let Some(target) = model.cluster_target(&data)? {
                 if !omega.is_empty() {
-                    fr_r = lambda_fr(model, &data, &target, Some(&omega.indices), truth)?;
+                    fr_r = lambda_fr(model, &data, &target, Some(&omega.indices), truth, rec)?;
                 }
-                fr_full = lambda_fr(model, &data, &target, None, truth)?;
+                fr_full = lambda_fr(model, &data, &target, None, truth, rec)?;
             }
-            let sup = supervised_graph(&data, &z, &p, truth)?;
+            let sup = supervised_graph(&data, &z, &p, truth, rec)?;
             // "R value at the plain model's θ": the Υ-transformed graph the
             // R-model would use right now.
             if !omega.is_empty() {
@@ -564,7 +740,7 @@ pub fn train_plain(
             }
             fd_van = Some(lambda_fd(model, &data, &data.adjacency, &sup)?);
         }
-        epochs.push(EpochRecord {
+        let record = EpochRecord {
             epoch,
             loss,
             metrics,
@@ -578,13 +754,32 @@ pub fn train_plain(
             lambda_fr_full: fr_full,
             lambda_fd_current: fd_cur,
             lambda_fd_vanilla: fd_van,
-        });
+        };
+        record_t.stop();
+        if rec.enabled() {
+            rec.record(&Event::Epoch(record.to_event()));
+            rec.gauge("omega_size", Some(epoch), omega_size as f64);
+        }
+        epochs.push(record);
     }
-    let train_seconds = start.elapsed().as_secs_f64();
+    let train_seconds = clustering.stop();
     if cfg.snapshot_epochs.iter().any(|&e| e >= cfg.max_epochs) {
         snapshots.push((cfg.max_epochs, model.embed(&data)));
     }
-    let final_metrics = evaluate(model, &data, truth, rng)?;
+    let final_metrics = {
+        let _eval = span(rec, "eval");
+        evaluate_traced(model, &data, truth, rng, rec)?
+    };
+    if rec.enabled() {
+        rec.record(&Event::RunEnd(RunSummary {
+            train_seconds,
+            converged_at: None,
+            epochs_run: epochs.len(),
+            final_acc: final_metrics.acc,
+            final_nmi: final_metrics.nmi,
+            final_ari: final_metrics.ari,
+        }));
+    }
     Ok(PlainReport {
         pretrain_metrics,
         final_metrics,

@@ -125,11 +125,7 @@ pub fn upsilon(
             if let Some(j) = centroids[k1] {
                 // Alg. 2 line 9: link i to its centroid when absent and the
                 // centroid's own top cluster agrees (k₁ = k₂).
-                if j != i
-                    && !a.contains(i, j)
-                    && assign[j] == k1
-                    && edits.add_edge(i, j).is_ok()
-                {
+                if j != i && !a.contains(i, j) && assign[j] == k1 && edits.add_edge(i, j).is_ok() {
                     added.push(if i < j { (i, j) } else { (j, i) });
                 }
             }
@@ -141,9 +137,9 @@ pub fn upsilon(
                     continue;
                 }
                 if omega_mask[l] && assign[l] != k1 {
-                    edits.drop_edge(i, l).map_err(|_| {
-                        Error::Config("upsilon: unexpected self-loop in adjacency")
-                    })?;
+                    edits
+                        .drop_edge(i, l)
+                        .map_err(|_| Error::Config("upsilon: unexpected self-loop in adjacency"))?;
                     dropped.push((i, l));
                 }
             }
@@ -217,13 +213,7 @@ mod tests {
         // Star-less cluster: 0-1-2-3 path all one cluster, centroid ends up
         // mid-path; far nodes gain links.
         let a = Csr::adjacency_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        let z = Mat::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.0],
-            vec![3.0],
-        ])
-        .unwrap();
+        let z = Mat::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let p = Mat::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
         let omega = vec![0, 1, 2, 3];
         let out = upsilon(&a, &p, &z, &omega, &UpsilonConfig::default()).unwrap();
@@ -236,7 +226,7 @@ mod tests {
     }
 
     #[test]
-    fn restricted_omega_leaves_outside_untouched(){
+    fn restricted_omega_leaves_outside_untouched() {
         let (a, p, z) = fixture();
         // Only cluster-0 nodes are reliable.
         let omega = vec![0, 1, 2];

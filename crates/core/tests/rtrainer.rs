@@ -40,9 +40,15 @@ fn r_dgae_runs_and_reports() {
     let mut rng = Rng64::seed_from_u64(1);
     let data = TrainData::from_graph(&g);
     let mut model = Dgae::new(data.num_features(), g.num_classes(), &mut rng);
-    let report = RTrainer::new(quick_cfg()).train(&mut model, &g, &mut rng).unwrap();
+    let report = RTrainer::new(quick_cfg())
+        .train(&mut model, &g, &mut rng)
+        .unwrap();
     assert!(!report.epochs.is_empty());
-    assert!(report.final_metrics.acc > 0.45, "{:?}", report.final_metrics);
+    assert!(
+        report.final_metrics.acc > 0.45,
+        "{:?}",
+        report.final_metrics
+    );
     assert!(report.final_metrics.acc.is_finite());
     assert!(report.train_seconds > 0.0);
     // Ω should end large (convergence drive).
@@ -142,13 +148,16 @@ fn first_group_r_variant_trains() {
     let mut rng = Rng64::seed_from_u64(3);
     let data = TrainData::from_graph(&g);
     let mut model = Gae::new(data.num_features(), &mut rng);
-    let report = RTrainer::new(quick_cfg()).train(&mut model, &g, &mut rng).unwrap();
+    let report = RTrainer::new(quick_cfg())
+        .train(&mut model, &g, &mut rng)
+        .unwrap();
     assert!(report.final_metrics.acc > 0.4, "{:?}", report.final_metrics);
     // Graph was actually rewritten at some point.
-    assert!(report
-        .epochs
-        .iter()
-        .any(|e| e.added_links.0 + e.added_links.1 + e.dropped_links.0 + e.dropped_links.1 > 0));
+    assert!(report.epochs.iter().any(|e| e.added_links.0
+        + e.added_links.1
+        + e.dropped_links.0
+        + e.dropped_links.1
+        > 0));
 }
 
 #[test]
@@ -174,7 +183,10 @@ fn diagnostics_are_recorded_and_bounded() {
         .into_iter()
         .flatten()
         {
-            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "Λ out of range: {v}");
+            assert!(
+                (-1.0 - 1e-9..=1.0 + 1e-9).contains(&v),
+                "Λ out of range: {v}"
+            );
         }
         saw_fr |= e.lambda_fr_restricted.is_some();
         saw_fd |= e.lambda_fd_current.is_some();
@@ -182,11 +194,7 @@ fn diagnostics_are_recorded_and_bounded() {
     assert!(saw_fr && saw_fd);
     // Early in training the pseudo gradient should broadly agree with the
     // supervised one (the paper observes Λ_FR close to 1 initially).
-    let first_fr = report
-        .epochs
-        .iter()
-        .find_map(|e| e.lambda_fr_full)
-        .unwrap();
+    let first_fr = report.epochs.iter().find_map(|e| e.lambda_fr_full).unwrap();
     assert!(first_fr > 0.0, "early Λ_FR {first_fr}");
 }
 

@@ -53,9 +53,7 @@ impl CitationSpec {
         if self.avg_degree <= 0.0 {
             return Err(Error::BadSpec("avg_degree must be positive"));
         }
-        if !self.class_proportions.is_empty()
-            && self.class_proportions.len() != self.num_classes
-        {
+        if !self.class_proportions.is_empty() && self.class_proportions.len() != self.num_classes {
             return Err(Error::BadSpec("class_proportions length != K"));
         }
         Ok(())
@@ -186,14 +184,7 @@ pub fn citation_like(spec: &CitationSpec, seed: u64) -> Result<AttributedGraph> 
     }
 
     let edge_vec: Vec<(usize, usize)> = edges.into_iter().collect();
-    let graph = AttributedGraph::from_edges(
-        spec.name.clone(),
-        n,
-        &edge_vec,
-        x,
-        labels,
-        k,
-    )?;
+    let graph = AttributedGraph::from_edges(spec.name.clone(), n, &edge_vec, x, labels, k)?;
     Ok(graph.with_row_normalized_features())
 }
 

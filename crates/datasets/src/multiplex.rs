@@ -96,8 +96,7 @@ pub fn multiplex_like(spec: &MultiplexSpec, seed: u64) -> Result<MultiplexGraph>
         }
         let edge_vec: Vec<(usize, usize)> = edges.into_iter().collect();
         layers.push(
-            rgae_linalg::Csr::adjacency_from_edges(n, &edge_vec)
-                .expect("endpoints in range"),
+            rgae_linalg::Csr::adjacency_from_edges(n, &edge_vec).expect("endpoints in range"),
         );
     }
 
@@ -120,7 +119,13 @@ pub fn multiplex_like(spec: &MultiplexSpec, seed: u64) -> Result<MultiplexGraph>
     }
     let x = x.row_l2_normalized();
 
-    Ok(MultiplexGraph::new(spec.name.clone(), layers, x, labels, k)?)
+    Ok(MultiplexGraph::new(
+        spec.name.clone(),
+        layers,
+        x,
+        labels,
+        k,
+    )?)
 }
 
 #[cfg(test)]

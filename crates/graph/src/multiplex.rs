@@ -201,6 +201,8 @@ mod tests {
         let empty = Csr::adjacency_from_edges(4, &[]).unwrap();
         let g2 = g.with_layer(1, empty).unwrap();
         assert_eq!(g2.union_adjacency().nnz(), 4); // only layer 0's edges
-        assert!(two_layer().with_layer(5, Csr::adjacency_from_edges(4, &[]).unwrap()).is_err());
+        assert!(two_layer()
+            .with_layer(5, Csr::adjacency_from_edges(4, &[]).unwrap())
+            .is_err());
     }
 }

@@ -83,7 +83,11 @@ impl Mat {
             }
             data.extend_from_slice(row);
         }
-        Ok(Mat { rows: r, cols: c, data })
+        Ok(Mat {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.

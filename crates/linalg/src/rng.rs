@@ -1,17 +1,55 @@
 //! Deterministic random-number helpers and weight initialisers.
 //!
-//! `rand` alone (without `rand_distr`) provides no Gaussian sampler, so we
-//! carry our own Box–Muller implementation inside [`Rng64`]. Every experiment
-//! in the workspace threads an explicit seed through one of these.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! The generator is an in-house xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, so the workspace carries no
+//! external RNG dependency and every stream is reproducible from a single
+//! 64-bit seed. Gaussian samples come from a Box–Muller transform. Every
+//! experiment in the workspace threads an explicit seed through one of these.
 
 use crate::Mat;
 
+/// xoshiro256++ core state.
+#[derive(Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expand a 64-bit seed into a full state with SplitMix64 (the seeding
+    /// recipe recommended by the xoshiro authors).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
 /// A seedable RNG with the handful of samplers the workspace needs.
 pub struct Rng64 {
-    inner: StdRng,
+    inner: Xoshiro256,
     /// Spare Gaussian deviate produced by Box–Muller.
     spare: Option<f64>,
 }
@@ -20,14 +58,14 @@ impl Rng64 {
     /// Deterministic RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         Rng64 {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::seed_from_u64(seed),
             spare: None,
         }
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)` (53 random mantissa bits).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -38,7 +76,9 @@ impl Rng64 {
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.inner.random_range(0..n)
+        // Lemire's widening-multiply range reduction (bias < 2⁻⁶⁴, far below
+        // any statistical test in this workspace).
+        ((self.inner.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -111,7 +151,7 @@ impl Rng64 {
 
     /// Derive an independent child RNG (for per-trial seeding).
     pub fn fork(&mut self) -> Rng64 {
-        Rng64::seed_from_u64(self.inner.random::<u64>())
+        Rng64::seed_from_u64(self.inner.next_u64())
     }
 }
 

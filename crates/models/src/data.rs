@@ -35,7 +35,11 @@ impl TrainData {
         let n2 = (n * n) as f64;
         // Guard the degenerate empty graph (benchmarks never produce one,
         // corruption sweeps can).
-        let pos_weight = if sum_a > 0.0 { (n2 - sum_a) / sum_a } else { 1.0 };
+        let pos_weight = if sum_a > 0.0 {
+            (n2 - sum_a) / sum_a
+        } else {
+            1.0
+        };
         let norm = if n2 - sum_a > 0.0 {
             n2 / (2.0 * (n2 - sum_a))
         } else {
@@ -66,8 +70,7 @@ mod tests {
     fn constants_match_gae_reference_formulas() {
         let x = Mat::zeros(4, 2);
         let g =
-            AttributedGraph::from_edges("t", 4, &[(0, 1), (1, 2)], x, vec![0, 0, 1, 1], 2)
-                .unwrap();
+            AttributedGraph::from_edges("t", 4, &[(0, 1), (1, 2)], x, vec![0, 0, 1, 1], 2).unwrap();
         let d = TrainData::from_graph(&g);
         // N=4, ΣA = 4 (two undirected edges), N² = 16.
         assert!((d.pos_weight - 12.0 / 4.0).abs() < 1e-12);

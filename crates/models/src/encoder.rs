@@ -114,12 +114,7 @@ impl VarGcnEncoder {
 
     /// Differentiable forward: `(μ, log σ², leaves)`. The trunk output gets
     /// a ReLU before the heads (it is an intermediate layer here).
-    pub fn forward(
-        &self,
-        g: &mut Graph,
-        filter: &Rc<Csr>,
-        x: Var,
-    ) -> Result<(Var, Var, Vec<Var>)> {
+    pub fn forward(&self, g: &mut Graph, filter: &Rc<Csr>, x: Var) -> Result<(Var, Var, Vec<Var>)> {
         let (h, mut leaves) = self.trunk.forward(g, filter, x)?;
         let h = g.relu(h);
         let wm = g.leaf(self.w_mu.clone());

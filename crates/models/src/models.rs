@@ -300,12 +300,7 @@ impl Argae {
 }
 
 /// One discriminator update: real ~ N(0, I) vs fake = current embeddings.
-fn disc_step(
-    disc: &mut Mlp,
-    opt: &mut Adam,
-    z: &Mat,
-    rng: &mut Rng64,
-) -> Result<f64> {
+fn disc_step(disc: &mut Mlp, opt: &mut Adam, z: &Mat, rng: &mut Rng64) -> Result<f64> {
     let (n, d) = z.shape();
     // A single leaf pass over the stacked batch [real; fake] trains on both
     // halves without double-registering the discriminator weights.
@@ -559,13 +554,7 @@ impl Dgae {
     }
 
     /// Build `P` differentiably; optionally restricted to Ω rows.
-    fn soft_p(
-        &self,
-        g: &mut Graph,
-        z: Var,
-        mu: Var,
-        omega: Option<&[usize]>,
-    ) -> Result<Var> {
+    fn soft_p(&self, g: &mut Graph, z: Var, mu: Var, omega: Option<&[usize]>) -> Result<Var> {
         let z = match omega {
             Some(idx) => g.gather_rows(z, idx)?,
             None => z,

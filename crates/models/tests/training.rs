@@ -31,7 +31,12 @@ fn small_graph(seed: u64) -> AttributedGraph {
     .unwrap()
 }
 
-fn pretrain(model: &mut dyn GaeModel, data: &TrainData, epochs: usize, rng: &mut Rng64) -> Vec<f64> {
+fn pretrain(
+    model: &mut dyn GaeModel,
+    data: &TrainData,
+    epochs: usize,
+    rng: &mut Rng64,
+) -> Vec<f64> {
     let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
     (0..epochs)
         .map(|_| model.train_step(data, &spec, rng).unwrap())
@@ -109,7 +114,8 @@ fn first_group_rejects_cluster_steps() {
         }),
     };
     assert!(model.train_step(&data, &spec, &mut rng).is_err());
-    assert!(model.clustering_grad(&data, &spec.cluster.as_ref().unwrap().target, None)
+    assert!(model
+        .clustering_grad(&data, &spec.cluster.as_ref().unwrap().target, None)
         .unwrap()
         .is_none());
 }
@@ -170,11 +176,7 @@ fn gmm_vgae_trains_jointly() {
     pretrain(&mut model, &data, 80, &mut rng);
     model.init_clustering(&data, &mut rng).unwrap();
     let acc_before = accuracy(
-        &model
-            .soft_assignments(&data)
-            .unwrap()
-            .unwrap()
-            .row_argmax(),
+        &model.soft_assignments(&data).unwrap().unwrap().row_argmax(),
         g.labels(),
     );
     for _ in 0..40 {
@@ -191,11 +193,7 @@ fn gmm_vgae_trains_jointly() {
         assert!(loss.is_finite());
     }
     let acc_after = accuracy(
-        &model
-            .soft_assignments(&data)
-            .unwrap()
-            .unwrap()
-            .row_argmax(),
+        &model.soft_assignments(&data).unwrap().unwrap().row_argmax(),
         g.labels(),
     );
     assert!(
@@ -214,7 +212,10 @@ fn omega_restriction_changes_clustering_grad() {
     pretrain(&mut model, &data, 30, &mut rng);
     model.init_clustering(&data, &mut rng).unwrap();
     let target = model.cluster_target(&data).unwrap().unwrap();
-    let full = model.clustering_grad(&data, &target, None).unwrap().unwrap();
+    let full = model
+        .clustering_grad(&data, &target, None)
+        .unwrap()
+        .unwrap();
     let omega: Vec<usize> = (0..30).collect();
     let restricted = model
         .clustering_grad(&data, &target, Some(&omega))
@@ -270,11 +271,7 @@ fn second_group_beats_first_group_on_easy_data() {
         dgae.train_step(&data, &spec, &mut rng).unwrap();
     }
     let acc_second = accuracy(
-        &dgae
-            .soft_assignments(&data)
-            .unwrap()
-            .unwrap()
-            .row_argmax(),
+        &dgae.soft_assignments(&data).unwrap().unwrap().row_argmax(),
         g.labels(),
     );
     assert!(

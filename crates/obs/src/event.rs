@@ -1,0 +1,456 @@
+//! The run-log event schema.
+//!
+//! Every event serialises to one JSONL line — an object whose `"type"` field
+//! tags the variant — and parses back losslessly, so a results directory of
+//! `.jsonl` files is a replayable record of *what ran, with which
+//! configuration, and where the time went*.
+
+use crate::json::Json;
+
+/// Everything known about a run before its first epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// Unique id (binary, dataset, model, seed, and wall-clock millis).
+    pub run_id: String,
+    /// The experiment binary (e.g. `table1_2`).
+    pub binary: String,
+    /// Dataset preset name.
+    pub dataset: String,
+    /// Model name (e.g. `GMM-VGAE`).
+    pub model: String,
+    /// Protocol variant (`plain`, `r`, …).
+    pub variant: String,
+    /// Trial seed.
+    pub seed: u64,
+    /// Workspace crate version at build time.
+    pub workspace_version: String,
+    /// The full training configuration, pre-rendered to JSON by the layer
+    /// that owns the config type.
+    pub config: Json,
+}
+
+/// One clustering-phase epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochEvent {
+    /// Clustering-phase epoch index.
+    pub epoch: usize,
+    /// Training loss.
+    pub loss: f64,
+    /// |Ω|.
+    pub omega_size: usize,
+    /// Accuracy restricted to Ω.
+    pub omega_acc: f64,
+    /// Accuracy over 𝒱 − Ω.
+    pub rest_acc: f64,
+    /// Links added by Υ that agree / disagree with the labels.
+    pub added_links: (usize, usize),
+    /// Links dropped by Υ that agree / disagree with the labels.
+    pub dropped_links: (usize, usize),
+    /// Hungarian-matched accuracy (eval epochs only).
+    pub acc: Option<f64>,
+    /// NMI (eval epochs only).
+    pub nmi: Option<f64>,
+    /// ARI (eval epochs only).
+    pub ari: Option<f64>,
+    /// Λ_FR with the Ξ restriction.
+    pub lambda_fr_restricted: Option<f64>,
+    /// Λ_FR without the restriction.
+    pub lambda_fr_full: Option<f64>,
+    /// Λ_FD of the current self-supervision graph.
+    pub lambda_fd_current: Option<f64>,
+    /// Λ_FD of the vanilla graph.
+    pub lambda_fd_vanilla: Option<f64>,
+}
+
+/// Final state of a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Wall-clock seconds of the clustering phase, measured by the
+    /// recorder's own span timer.
+    pub train_seconds: f64,
+    /// Epoch at which |Ω| ≥ threshold·N, if reached.
+    pub converged_at: Option<usize>,
+    /// Clustering-phase epochs actually run.
+    pub epochs_run: usize,
+    /// Final Hungarian-matched accuracy.
+    pub final_acc: f64,
+    /// Final NMI.
+    pub final_nmi: f64,
+    /// Final ARI.
+    pub final_ari: f64,
+}
+
+/// Aggregated time spent under one span path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingEntry {
+    /// Slash-joined nested span path (e.g. `clustering/step`).
+    pub path: String,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total seconds across all closures.
+    pub total_seconds: f64,
+}
+
+/// A run-log event. See the module docs for the JSONL mapping.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Run start: full provenance.
+    RunStart(RunManifest),
+    /// One clustering-phase epoch.
+    Epoch(EpochEvent),
+    /// A span closed; `path` is the slash-joined nesting.
+    SpanEnd {
+        /// Nested span path.
+        path: String,
+        /// Elapsed seconds.
+        seconds: f64,
+    },
+    /// Monotonic counter increment (e.g. `label_clamp`, `edges_added`).
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Increment.
+        delta: u64,
+    },
+    /// Point-in-time measurement (e.g. `omega_size` per epoch).
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Epoch the measurement belongs to, when applicable.
+        epoch: Option<usize>,
+        /// Measured value.
+        value: f64,
+    },
+    /// The |Ω| ≥ threshold·N criterion fired.
+    Convergence {
+        /// Epoch of convergence.
+        epoch: usize,
+    },
+    /// Per-run aggregated timing table (emitted before `RunEnd`).
+    TimingSummary(Vec<TimingEntry>),
+    /// Run end: final metrics and wall-clock time.
+    RunEnd(RunSummary),
+}
+
+fn opt_num(x: Option<f64>) -> Json {
+    x.map_or(Json::Null, Json::Num)
+}
+
+fn opt_int(x: Option<usize>) -> Json {
+    x.map_or(Json::Null, |v| Json::Int(v as i64))
+}
+
+fn get_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn get_opt_f64(v: &Json, key: &str) -> Option<f64> {
+    // Missing and null both decode to None.
+    get_f64(v, key)
+}
+
+fn get_usize(v: &Json, key: &str) -> Option<usize> {
+    v.get(key).and_then(Json::as_usize)
+}
+
+fn get_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_owned)
+}
+
+impl Event {
+    /// The `"type"` tag this event serialises under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart(_) => "run_start",
+            Event::Epoch(_) => "epoch",
+            Event::SpanEnd { .. } => "span",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Convergence { .. } => "convergence",
+            Event::TimingSummary(_) => "timing_summary",
+            Event::RunEnd(_) => "run_end",
+        }
+    }
+
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![("type".into(), Json::Str(self.kind().into()))];
+        match self {
+            Event::RunStart(m) => {
+                fields.push(("run_id".into(), Json::Str(m.run_id.clone())));
+                fields.push(("binary".into(), Json::Str(m.binary.clone())));
+                fields.push(("dataset".into(), Json::Str(m.dataset.clone())));
+                fields.push(("model".into(), Json::Str(m.model.clone())));
+                fields.push(("variant".into(), Json::Str(m.variant.clone())));
+                fields.push(("seed".into(), Json::Int(m.seed as i64)));
+                fields.push((
+                    "workspace_version".into(),
+                    Json::Str(m.workspace_version.clone()),
+                ));
+                fields.push(("config".into(), m.config.clone()));
+            }
+            Event::Epoch(e) => {
+                fields.push(("epoch".into(), Json::Int(e.epoch as i64)));
+                fields.push(("loss".into(), Json::Num(e.loss)));
+                fields.push(("omega_size".into(), Json::Int(e.omega_size as i64)));
+                fields.push(("omega_acc".into(), Json::Num(e.omega_acc)));
+                fields.push(("rest_acc".into(), Json::Num(e.rest_acc)));
+                fields.push(("added_true".into(), Json::Int(e.added_links.0 as i64)));
+                fields.push(("added_false".into(), Json::Int(e.added_links.1 as i64)));
+                fields.push(("dropped_true".into(), Json::Int(e.dropped_links.0 as i64)));
+                fields.push(("dropped_false".into(), Json::Int(e.dropped_links.1 as i64)));
+                fields.push(("acc".into(), opt_num(e.acc)));
+                fields.push(("nmi".into(), opt_num(e.nmi)));
+                fields.push(("ari".into(), opt_num(e.ari)));
+                fields.push((
+                    "lambda_fr_restricted".into(),
+                    opt_num(e.lambda_fr_restricted),
+                ));
+                fields.push(("lambda_fr_full".into(), opt_num(e.lambda_fr_full)));
+                fields.push(("lambda_fd_current".into(), opt_num(e.lambda_fd_current)));
+                fields.push(("lambda_fd_vanilla".into(), opt_num(e.lambda_fd_vanilla)));
+            }
+            Event::SpanEnd { path, seconds } => {
+                fields.push(("path".into(), Json::Str(path.clone())));
+                fields.push(("seconds".into(), Json::Num(*seconds)));
+            }
+            Event::Counter { name, delta } => {
+                fields.push(("name".into(), Json::Str(name.clone())));
+                fields.push(("delta".into(), Json::Int(*delta as i64)));
+            }
+            Event::Gauge { name, epoch, value } => {
+                fields.push(("name".into(), Json::Str(name.clone())));
+                fields.push(("epoch".into(), opt_int(*epoch)));
+                fields.push(("value".into(), Json::Num(*value)));
+            }
+            Event::Convergence { epoch } => {
+                fields.push(("epoch".into(), Json::Int(*epoch as i64)));
+            }
+            Event::TimingSummary(entries) => {
+                let arr = entries
+                    .iter()
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("path".into(), Json::Str(e.path.clone())),
+                            ("count".into(), Json::Int(e.count as i64)),
+                            ("total_seconds".into(), Json::Num(e.total_seconds)),
+                        ])
+                    })
+                    .collect();
+                fields.push(("spans".into(), Json::Arr(arr)));
+            }
+            Event::RunEnd(s) => {
+                fields.push(("train_seconds".into(), Json::Num(s.train_seconds)));
+                fields.push(("converged_at".into(), opt_int(s.converged_at)));
+                fields.push(("epochs_run".into(), Json::Int(s.epochs_run as i64)));
+                fields.push(("final_acc".into(), Json::Num(s.final_acc)));
+                fields.push(("final_nmi".into(), Json::Num(s.final_nmi)));
+                fields.push(("final_ari".into(), Json::Num(s.final_ari)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// One JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Decode from the [`Event::to_json`] representation.
+    pub fn from_json(v: &Json) -> Option<Event> {
+        match v.get("type")?.as_str()? {
+            "run_start" => Some(Event::RunStart(RunManifest {
+                run_id: get_str(v, "run_id")?,
+                binary: get_str(v, "binary")?,
+                dataset: get_str(v, "dataset")?,
+                model: get_str(v, "model")?,
+                variant: get_str(v, "variant")?,
+                seed: v.get("seed")?.as_i64()? as u64,
+                workspace_version: get_str(v, "workspace_version")?,
+                config: v.get("config")?.clone(),
+            })),
+            "epoch" => Some(Event::Epoch(EpochEvent {
+                epoch: get_usize(v, "epoch")?,
+                loss: get_f64(v, "loss")?,
+                omega_size: get_usize(v, "omega_size")?,
+                omega_acc: get_f64(v, "omega_acc")?,
+                rest_acc: get_f64(v, "rest_acc")?,
+                added_links: (get_usize(v, "added_true")?, get_usize(v, "added_false")?),
+                dropped_links: (
+                    get_usize(v, "dropped_true")?,
+                    get_usize(v, "dropped_false")?,
+                ),
+                acc: get_opt_f64(v, "acc"),
+                nmi: get_opt_f64(v, "nmi"),
+                ari: get_opt_f64(v, "ari"),
+                lambda_fr_restricted: get_opt_f64(v, "lambda_fr_restricted"),
+                lambda_fr_full: get_opt_f64(v, "lambda_fr_full"),
+                lambda_fd_current: get_opt_f64(v, "lambda_fd_current"),
+                lambda_fd_vanilla: get_opt_f64(v, "lambda_fd_vanilla"),
+            })),
+            "span" => Some(Event::SpanEnd {
+                path: get_str(v, "path")?,
+                seconds: get_f64(v, "seconds")?,
+            }),
+            "counter" => Some(Event::Counter {
+                name: get_str(v, "name")?,
+                delta: v.get("delta")?.as_i64()? as u64,
+            }),
+            "gauge" => Some(Event::Gauge {
+                name: get_str(v, "name")?,
+                epoch: get_usize(v, "epoch"),
+                value: get_f64(v, "value")?,
+            }),
+            "convergence" => Some(Event::Convergence {
+                epoch: get_usize(v, "epoch")?,
+            }),
+            "timing_summary" => {
+                let entries = v
+                    .get("spans")?
+                    .as_arr()?
+                    .iter()
+                    .map(|e| {
+                        Some(TimingEntry {
+                            path: get_str(e, "path")?,
+                            count: e.get("count")?.as_i64()? as u64,
+                            total_seconds: get_f64(e, "total_seconds")?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(Event::TimingSummary(entries))
+            }
+            "run_end" => Some(Event::RunEnd(RunSummary {
+                train_seconds: get_f64(v, "train_seconds")?,
+                converged_at: get_usize(v, "converged_at"),
+                epochs_run: get_usize(v, "epochs_run")?,
+                final_acc: get_f64(v, "final_acc")?,
+                final_nmi: get_f64(v, "final_nmi")?,
+                final_ari: get_f64(v, "final_ari")?,
+            })),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSONL line back into an event.
+    pub fn from_jsonl(line: &str) -> Option<Event> {
+        Event::from_json(&Json::parse(line).ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One exemplar of every event variant, with Options both set and unset.
+    pub(crate) fn exemplars() -> Vec<Event> {
+        vec![
+            Event::RunStart(RunManifest {
+                run_id: "table1_2-cora-like-GAE-plain-42-0".into(),
+                binary: "table1_2".into(),
+                dataset: "cora-like".into(),
+                model: "GAE".into(),
+                variant: "plain".into(),
+                seed: 42,
+                workspace_version: "0.1.0".into(),
+                config: Json::Obj(vec![
+                    ("gamma".into(), Json::Num(0.001)),
+                    ("m1".into(), Json::Int(20)),
+                ]),
+            }),
+            Event::Epoch(EpochEvent {
+                epoch: 3,
+                loss: 1.25,
+                omega_size: 120,
+                omega_acc: 0.9,
+                rest_acc: 0.4,
+                added_links: (10, 2),
+                dropped_links: (0, 7),
+                acc: Some(0.7),
+                nmi: None,
+                ari: Some(0.5),
+                lambda_fr_restricted: Some(0.8),
+                lambda_fr_full: None,
+                lambda_fd_current: None,
+                lambda_fd_vanilla: Some(0.3),
+            }),
+            Event::SpanEnd {
+                path: "clustering/upsilon".into(),
+                seconds: 0.0125,
+            },
+            Event::Counter {
+                name: "label_clamp".into(),
+                delta: 4,
+            },
+            Event::Gauge {
+                name: "omega_size".into(),
+                epoch: Some(12),
+                value: 310.0,
+            },
+            Event::Gauge {
+                name: "kmeans_inertia".into(),
+                epoch: None,
+                value: 87.5,
+            },
+            Event::Convergence { epoch: 31 },
+            Event::TimingSummary(vec![
+                TimingEntry {
+                    path: "clustering/step".into(),
+                    count: 60,
+                    total_seconds: 1.5,
+                },
+                TimingEntry {
+                    path: "clustering".into(),
+                    count: 1,
+                    total_seconds: 2.0,
+                },
+            ]),
+            Event::RunEnd(RunSummary {
+                train_seconds: 2.0,
+                converged_at: Some(31),
+                epochs_run: 32,
+                final_acc: 0.71,
+                final_nmi: 0.55,
+                final_ari: 0.49,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_jsonl() {
+        for ev in exemplars() {
+            let line = ev.to_jsonl();
+            let back =
+                Event::from_jsonl(&line).unwrap_or_else(|| panic!("failed to parse back: {line}"));
+            assert_eq!(back, ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn none_options_round_trip_as_null() {
+        let ev = Event::RunEnd(RunSummary {
+            train_seconds: 1.0,
+            converged_at: None,
+            epochs_run: 60,
+            final_acc: 0.5,
+            final_nmi: 0.5,
+            final_ari: 0.5,
+        });
+        let line = ev.to_jsonl();
+        assert!(line.contains("\"converged_at\":null"));
+        assert_eq!(Event::from_jsonl(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn kind_matches_tag() {
+        for ev in exemplars() {
+            let v = ev.to_json();
+            assert_eq!(v.get("type").unwrap().as_str().unwrap(), ev.kind());
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        assert_eq!(Event::from_jsonl(r#"{"type":"martian"}"#), None);
+        assert_eq!(Event::from_jsonl("not json"), None);
+    }
+}

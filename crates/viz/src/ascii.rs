@@ -1,7 +1,12 @@
 //! Terminal plots: quick previews of the figure series.
 
 /// Render a labelled 2-D scatter as ASCII (labels drawn as digits/letters).
-pub fn ascii_scatter(points: &[(f64, f64)], labels: &[usize], width: usize, height: usize) -> String {
+pub fn ascii_scatter(
+    points: &[(f64, f64)],
+    labels: &[usize],
+    width: usize,
+    height: usize,
+) -> String {
     assert_eq!(points.len(), labels.len());
     let width = width.max(8);
     let height = height.max(4);

@@ -20,7 +20,10 @@ pub fn pca_2d(x: &Mat, rng: &mut Rng64) -> Result<Mat> {
         }
     }
     // Covariance (d×d).
-    let cov = centred.t_matmul(&centred).expect("gram").scale(1.0 / n as f64);
+    let cov = centred
+        .t_matmul(&centred)
+        .expect("gram")
+        .scale(1.0 / n as f64);
 
     let mut components = Mat::zeros(2, d);
     let mut cov_work = cov;

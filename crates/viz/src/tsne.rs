@@ -115,7 +115,11 @@ pub fn tsne(x: &Mat, cfg: &TsneConfig, rng: &mut Rng64) -> Result<Mat> {
     let mut y = rgae_linalg::standard_normal(n, 2, rng).scale(1e-2);
     let mut vel = Mat::zeros(n, 2);
     for it in 0..cfg.iterations {
-        let exag = if it < cfg.exaggeration_iters { 12.0 } else { 1.0 };
+        let exag = if it < cfg.exaggeration_iters {
+            12.0
+        } else {
+            1.0
+        };
         // Student-t affinities Q (unnormalised num, then normalised).
         let yd2 = y.pairwise_sq_dists(&y).expect("self distances");
         let mut num = yd2.map(|v| 1.0 / (1.0 + v));
@@ -215,8 +219,15 @@ mod tests {
     fn output_is_centred() {
         let mut rng = Rng64::seed_from_u64(2);
         let x = rgae_linalg::standard_normal(30, 5, &mut rng);
-        let y = tsne(&x, &TsneConfig { iterations: 50, ..TsneConfig::default() }, &mut rng)
-            .unwrap();
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 50,
+                ..TsneConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
         let means = y.col_means();
         assert!(means[0].abs() < 1e-9 && means[1].abs() < 1e-9);
     }
@@ -238,7 +249,10 @@ mod tests {
     fn deterministic_given_seed() {
         let mut rng_data = Rng64::seed_from_u64(4);
         let x = rgae_linalg::standard_normal(20, 4, &mut rng_data);
-        let cfg = TsneConfig { iterations: 40, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 40,
+            ..TsneConfig::default()
+        };
         let mut r1 = Rng64::seed_from_u64(5);
         let mut r2 = Rng64::seed_from_u64(5);
         let y1 = tsne(&x, &cfg, &mut r1).unwrap();

@@ -31,7 +31,9 @@ fn bench_kmeans(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n_per * 7), &n_per, |b, _| {
             b.iter(|| {
                 let mut r = Rng64::seed_from_u64(2);
-                kmeans(std::hint::black_box(&x), 7, 50, &mut r).unwrap().inertia
+                kmeans(std::hint::black_box(&x), 7, 50, &mut r)
+                    .unwrap()
+                    .inertia
             })
         });
     }
@@ -88,5 +90,11 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kmeans, bench_gmm, bench_hungarian, bench_metrics);
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_gmm,
+    bench_hungarian,
+    bench_metrics
+);
 criterion_main!(benches);

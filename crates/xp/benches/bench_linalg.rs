@@ -15,7 +15,11 @@ fn bench_gemm(c: &mut Criterion) {
         let a = rgae_linalg::standard_normal(n, n, &mut rng);
         let b = rgae_linalg::standard_normal(n, 64, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)).unwrap())
+            bch.iter(|| {
+                std::hint::black_box(&a)
+                    .matmul(std::hint::black_box(&b))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -36,7 +40,11 @@ fn bench_spmm(c: &mut Criterion) {
             .unwrap();
         let x = rgae_linalg::standard_normal(n, 64, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| std::hint::black_box(&a).spmm(std::hint::black_box(&x)).unwrap())
+            bch.iter(|| {
+                std::hint::black_box(&a)
+                    .spmm(std::hint::black_box(&x))
+                    .unwrap()
+            })
         });
     }
     group.finish();

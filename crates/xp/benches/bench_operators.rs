@@ -4,8 +4,8 @@
 //! near-linear growth that backs Table 5's "no significant overhead" claim.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rgae_core::{upsilon, xi, UpsilonConfig, XiConfig};
 use rgae_cluster::gaussian_soft_assignments;
+use rgae_core::{upsilon, xi, UpsilonConfig, XiConfig};
 use rgae_datasets::{citation_like, CitationSpec};
 use rgae_linalg::Rng64;
 

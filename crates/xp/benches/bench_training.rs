@@ -5,8 +5,8 @@
 use std::rc::Rc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rgae_core::{upsilon, xi, RConfig, RTrainer, UpsilonConfig, XiConfig};
 use rgae_core::soft_assignments_or_kmeans;
+use rgae_core::{upsilon, xi, RConfig, RTrainer, UpsilonConfig, XiConfig};
 use rgae_datasets::presets::cora_like;
 use rgae_linalg::Rng64;
 use rgae_models::{ClusterStep, Dgae, GaeModel, GmmVgae, StepSpec, TrainData};

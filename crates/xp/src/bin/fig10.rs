@@ -3,11 +3,11 @@
 //! Emits per-snapshot CSV point clouds and ASCII previews, plus a
 //! silhouette-style separability summary.
 
-use rgae_core::{train_plain, RTrainer};
+use rgae_core::{train_plain_traced, RTrainer};
 use rgae_linalg::{Mat, Rng64};
 use rgae_models::TrainData;
 use rgae_viz::{ascii_scatter, tsne, CsvWriter, TsneConfig};
-use rgae_xp::{rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{bin_name, emit_run_start, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
 
 /// Mean silhouette-like separation: (inter-centroid spread) / (mean
 /// intra-cluster distance). Higher = better separated.
@@ -45,6 +45,8 @@ fn separation(y: &Mat, labels: &[usize], k: usize) -> f64 {
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale().min(0.25), opts.seed);
     let data = TrainData::from_graph(&graph);
@@ -59,12 +61,21 @@ fn main() {
     cfg.min_epochs = cfg.max_epochs;
 
     let mut rng = Rng64::seed_from_u64(opts.seed);
-    let trainer = RTrainer::new(cfg.clone());
+    let trainer = RTrainer::with_recorder(cfg.clone(), rec);
     let mut base = ModelKind::GmmVgae.build(data.num_features(), graph.num_classes(), &mut rng);
     trainer.pretrain(base.as_mut(), &data, &mut rng).unwrap();
 
     let mut r_model = base.clone_box();
     let mut rng_r = Rng64::seed_from_u64(opts.seed ^ 0x10);
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::GmmVgae.name(),
+        dataset.name(),
+        "r",
+        opts.seed,
+        &cfg,
+    );
     let r = trainer
         .train_clustering_phase(r_model.as_mut(), &graph, &data, &mut rng_r)
         .unwrap();
@@ -73,7 +84,16 @@ fn main() {
     let mut cfg_plain = cfg.clone();
     cfg_plain.pretrain_epochs = 0;
     let mut rng_p = Rng64::seed_from_u64(opts.seed ^ 0x10);
-    let p = train_plain(p_model.as_mut(), &graph, &cfg_plain, &mut rng_p).unwrap();
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::GmmVgae.name(),
+        dataset.name(),
+        "plain",
+        opts.seed,
+        &cfg_plain,
+    );
+    let p = train_plain_traced(p_model.as_mut(), &graph, &cfg_plain, &mut rng_p, rec).unwrap();
 
     let mut csv = CsvWriter::create(
         opts.out_dir.join("fig10_points.csv"),
@@ -124,5 +144,8 @@ fn main() {
         "Final ACC — GMM-VGAE: {} | R-GMM-VGAE: {}",
         p.final_metrics, r.final_metrics
     );
-    println!("Point clouds: {}", opts.out_dir.join("fig10_points.csv").display());
+    println!(
+        "Point clouds: {}",
+        opts.out_dir.join("fig10_points.csv").display()
+    );
 }

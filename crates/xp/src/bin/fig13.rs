@@ -3,14 +3,19 @@
 //! noticeably less sensitive because Υ removes the competition between the
 //! clustering and reconstruction signals.
 
-use rgae_core::{train_plain, RTrainer};
+use rgae_core::{train_plain_traced, RTrainer};
 use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_viz::CsvWriter;
-use rgae_xp::{pct, print_table, rconfig_for, stats, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{
+    bin_name, emit_run_start, pct, print_table, rconfig_for, stats, DatasetKind, HarnessOpts,
+    ModelKind,
+};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let data = TrainData::from_graph(&graph);
@@ -22,7 +27,7 @@ fn main() {
 
     let base_cfg = rconfig_for(ModelKind::GmmVgae, dataset, opts.quick);
     let mut rng = Rng64::seed_from_u64(opts.seed);
-    let trainer = RTrainer::new(base_cfg.clone());
+    let trainer = RTrainer::with_recorder(base_cfg.clone(), rec);
     let mut pretrained =
         ModelKind::GmmVgae.build(data.num_features(), graph.num_classes(), &mut rng);
     trainer
@@ -45,11 +50,29 @@ fn main() {
         let mut cfg_plain = cfg.clone();
         cfg_plain.pretrain_epochs = 0;
         let mut rng_p = Rng64::seed_from_u64(opts.seed ^ 0x13);
-        let p = train_plain(plain.as_mut(), &graph, &cfg_plain, &mut rng_p).unwrap();
+        emit_run_start(
+            rec,
+            &bin_name(),
+            ModelKind::GmmVgae.name(),
+            dataset.name(),
+            &format!("plain-gamma={gamma}"),
+            opts.seed,
+            &cfg_plain,
+        );
+        let p = train_plain_traced(plain.as_mut(), &graph, &cfg_plain, &mut rng_p, rec).unwrap();
 
         let mut r_model = pretrained.clone_box();
         let mut rng_r = Rng64::seed_from_u64(opts.seed ^ 0x13);
-        let r = RTrainer::new(cfg)
+        emit_run_start(
+            rec,
+            &bin_name(),
+            ModelKind::GmmVgae.name(),
+            dataset.name(),
+            &format!("r-gamma={gamma}"),
+            opts.seed,
+            &cfg,
+        );
+        let r = RTrainer::with_recorder(cfg, rec)
             .train_clustering_phase(r_model.as_mut(), &graph, &data, &mut rng_r)
             .unwrap();
 

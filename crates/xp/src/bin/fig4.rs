@@ -7,10 +7,14 @@ use rgae_core::RTrainer;
 use rgae_graph::GraphStats;
 use rgae_linalg::Rng64;
 use rgae_viz::CsvWriter;
-use rgae_xp::{print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{
+    bin_name, emit_run_start, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind,
+};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let mut cfg = rconfig_for(ModelKind::GmmVgae, dataset, opts.quick);
@@ -26,14 +30,30 @@ fn main() {
     let data = rgae_models::TrainData::from_graph(&graph);
     let mut rng = Rng64::seed_from_u64(opts.seed);
     let mut model = ModelKind::GmmVgae.build(data.num_features(), graph.num_classes(), &mut rng);
-    let report = RTrainer::new(cfg)
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::GmmVgae.name(),
+        dataset.name(),
+        "r",
+        opts.seed,
+        &cfg,
+    );
+    let report = RTrainer::with_recorder(cfg, rec)
         .train(model.as_mut(), &graph, &mut rng)
         .unwrap();
 
     let mut rows = Vec::new();
     let mut csv = CsvWriter::create(
         opts.out_dir.join("fig4_snapshots.csv"),
-        &["epoch", "edges", "true_links", "false_links", "max_degree", "isolated"],
+        &[
+            "epoch",
+            "edges",
+            "true_links",
+            "false_links",
+            "max_degree",
+            "isolated",
+        ],
     )
     .expect("csv");
     let mut edge_csv = CsvWriter::create(
@@ -90,13 +110,14 @@ fn main() {
         &["epoch", "edges", "true", "false", "max_deg", "isolated"],
         &rows,
     );
-    println!(
-        "\nStar-structure indicator: max_degree should approach cluster sizes"
-    );
+    println!("\nStar-structure indicator: max_degree should approach cluster sizes");
     println!(
         "(K={} clusters over N={} nodes) while false links shrink.",
         graph.num_classes(),
         graph.num_nodes()
     );
-    println!("Edge dumps: {}", opts.out_dir.join("fig4_edges.csv").display());
+    println!(
+        "Edge dumps: {}",
+        opts.out_dir.join("fig4_edges.csv").display()
+    );
 }

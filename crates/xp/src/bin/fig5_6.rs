@@ -10,14 +10,17 @@
 //! Each CSV row also carries the normalised cumulative difference (the
 //! purple curves).
 
-use rgae_core::{train_plain, EpochRecord, RTrainer};
+use rgae_core::{train_plain_traced, EpochRecord, RTrainer};
 use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_viz::{ascii_lines, CsvWriter};
-use rgae_xp::{rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{bin_name, emit_run_start, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
 
 fn series(records: &[EpochRecord], pick: impl Fn(&EpochRecord) -> Option<f64>) -> Vec<f64> {
-    records.iter().map(|e| pick(e).unwrap_or(f64::NAN)).collect()
+    records
+        .iter()
+        .map(|e| pick(e).unwrap_or(f64::NAN))
+        .collect()
 }
 
 /// Normalised cumulative difference of two series (the purple curves).
@@ -40,6 +43,8 @@ fn cumulative_diff(a: &[f64], b: &[f64]) -> Vec<f64> {
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let data = TrainData::from_graph(&graph);
@@ -54,13 +59,22 @@ fn main() {
 
     // Shared pretrained weights for both runs.
     let mut rng = Rng64::seed_from_u64(opts.seed);
-    let trainer = RTrainer::new(cfg.clone());
+    let trainer = RTrainer::with_recorder(cfg.clone(), rec);
     let mut base = ModelKind::GmmVgae.build(data.num_features(), graph.num_classes(), &mut rng);
     trainer.pretrain(base.as_mut(), &data, &mut rng).unwrap();
 
     // Experiment 1: train R-GMM-VGAE.
     let mut r_model = base.clone_box();
     let mut rng_r = Rng64::seed_from_u64(opts.seed ^ 0xA);
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::GmmVgae.name(),
+        dataset.name(),
+        "r",
+        opts.seed,
+        &cfg,
+    );
     let r_report = trainer
         .train_clustering_phase(r_model.as_mut(), &graph, &data, &mut rng_r)
         .unwrap();
@@ -70,7 +84,17 @@ fn main() {
     let mut cfg_plain = cfg.clone();
     cfg_plain.pretrain_epochs = 0;
     let mut rng_p = Rng64::seed_from_u64(opts.seed ^ 0xA);
-    let p_report = train_plain(p_model.as_mut(), &graph, &cfg_plain, &mut rng_p).unwrap();
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::GmmVgae.name(),
+        dataset.name(),
+        "plain",
+        opts.seed,
+        &cfg_plain,
+    );
+    let p_report =
+        train_plain_traced(p_model.as_mut(), &graph, &cfg_plain, &mut rng_p, rec).unwrap();
 
     // Assemble the series.
     let fr_r_at_r = series(&r_report.epochs, |e| e.lambda_fr_restricted); // blue (a)
@@ -86,11 +110,19 @@ fn main() {
         opts.out_dir.join("fig5_6.csv"),
         &[
             "epoch",
-            "fr_r_at_r", "fr_plain_at_r", "fr_cumdiff_a",
-            "fr_r_at_p", "fr_plain_at_p", "fr_cumdiff_b",
+            "fr_r_at_r",
+            "fr_plain_at_r",
+            "fr_cumdiff_a",
+            "fr_r_at_p",
+            "fr_plain_at_p",
+            "fr_cumdiff_b",
             "fr_cumdiff_c",
-            "fd_r_at_r", "fd_plain_at_r", "fd_cumdiff_a",
-            "fd_r_at_p", "fd_plain_at_p", "fd_cumdiff_b",
+            "fd_r_at_r",
+            "fd_plain_at_r",
+            "fd_cumdiff_a",
+            "fd_r_at_p",
+            "fd_plain_at_p",
+            "fd_cumdiff_b",
             "fd_cumdiff_c",
         ],
     )
@@ -105,11 +137,19 @@ fn main() {
     for i in 0..n {
         csv.row(&[
             i as f64,
-            fr_r_at_r[i], fr_plain_at_r[i], fr_cd_a[i],
-            fr_r_at_p[i], fr_plain_at_p[i], fr_cd_b[i],
+            fr_r_at_r[i],
+            fr_plain_at_r[i],
+            fr_cd_a[i],
+            fr_r_at_p[i],
+            fr_plain_at_p[i],
+            fr_cd_b[i],
             fr_cd_c[i],
-            fd_r_at_r[i], fd_plain_at_r[i], fd_cd_a[i],
-            fd_r_at_p[i], fd_plain_at_p[i], fd_cd_b[i],
+            fd_r_at_r[i],
+            fd_plain_at_r[i],
+            fd_cd_a[i],
+            fd_r_at_p[i],
+            fd_plain_at_p[i],
+            fd_cd_b[i],
             fd_cd_c[i],
         ])
         .expect("csv row");

@@ -3,22 +3,27 @@
 //! edges, dropped feature columns. Both models share the pretrained weights
 //! *and* the corrupted dataset in every comparison.
 
-use rgae_core::{train_plain, Metrics, RTrainer};
+use rgae_core::{train_plain_traced, Metrics, RTrainer};
 use rgae_datasets::{add_feature_noise, add_random_edges, drop_feature_columns, drop_random_edges};
 use rgae_graph::AttributedGraph;
 use rgae_linalg::Rng64;
 use rgae_models::TrainData;
+use rgae_obs::Recorder;
 use rgae_viz::CsvWriter;
-use rgae_xp::{pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{
+    bin_name, emit_run_start, pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind,
+};
 
 fn run_both(
     graph: &AttributedGraph,
     opts: &HarnessOpts,
     cfg: &rgae_core::RConfig,
+    variant: &str,
+    rec: &dyn Recorder,
 ) -> (Metrics, Metrics) {
     let data = TrainData::from_graph(graph);
     let mut rng = Rng64::seed_from_u64(opts.seed);
-    let trainer = RTrainer::new(cfg.clone());
+    let trainer = RTrainer::with_recorder(cfg.clone(), rec);
     let mut base = ModelKind::Dgae.build(data.num_features(), graph.num_classes(), &mut rng);
     trainer.pretrain(base.as_mut(), &data, &mut rng).unwrap();
 
@@ -26,10 +31,28 @@ fn run_both(
     let mut cfg_plain = cfg.clone();
     cfg_plain.pretrain_epochs = 0;
     let mut rng_p = Rng64::seed_from_u64(opts.seed ^ 0x78);
-    let p = train_plain(plain.as_mut(), graph, &cfg_plain, &mut rng_p).unwrap();
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::Dgae.name(),
+        "cora-like",
+        &format!("plain-{variant}"),
+        opts.seed,
+        &cfg_plain,
+    );
+    let p = train_plain_traced(plain.as_mut(), graph, &cfg_plain, &mut rng_p, rec).unwrap();
 
     let mut r_model = base;
     let mut rng_r = Rng64::seed_from_u64(opts.seed ^ 0x78);
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::Dgae.name(),
+        "cora-like",
+        &format!("r-{variant}"),
+        opts.seed,
+        cfg,
+    );
     let r = trainer
         .train_clustering_phase(r_model.as_mut(), graph, &data, &mut rng_r)
         .unwrap();
@@ -38,6 +61,8 @@ fn run_both(
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let clean = dataset.build(opts.dataset_scale(), opts.seed);
     let cfg = rconfig_for(ModelKind::Dgae, dataset, opts.quick);
@@ -68,7 +93,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = CsvWriter::create(
         opts.out_dir.join("fig7_8.csv"),
-        &["corruption", "level", "dgae_acc", "dgae_ari", "rdgae_acc", "rdgae_ari"],
+        &[
+            "corruption",
+            "level",
+            "dgae_acc",
+            "dgae_ari",
+            "rdgae_acc",
+            "rdgae_ari",
+        ],
     )
     .expect("csv");
     let mut run_sweep = |name: &str,
@@ -79,7 +111,7 @@ fn main() {
             // Identical corruption for both models: fixed seed per level.
             let mut crng = Rng64::seed_from_u64(opts.seed ^ (level.to_bits() >> 3));
             let graph = corrupt(level, &mut crng);
-            let (p, r) = run_both(&graph, &opts, &cfg);
+            let (p, r) = run_both(&graph, &opts, &cfg, &format!("{name}={level}"), rec);
             eprintln!("  {name} level {level}: DGAE {p} | R-DGAE {r}");
             csv.row_strs(&[
                 name.into(),

@@ -6,10 +6,12 @@
 use rgae_core::RTrainer;
 use rgae_linalg::Rng64;
 use rgae_viz::{ascii_lines, CsvWriter};
-use rgae_xp::{rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{bin_name, emit_run_start, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let data = rgae_models::TrainData::from_graph(&graph);
@@ -19,16 +21,34 @@ fn main() {
 
     let mut rng = Rng64::seed_from_u64(opts.seed);
     let mut model = ModelKind::GmmVgae.build(data.num_features(), graph.num_classes(), &mut rng);
-    let report = RTrainer::new(cfg)
+    emit_run_start(
+        rec,
+        &bin_name(),
+        ModelKind::GmmVgae.name(),
+        dataset.name(),
+        "r",
+        opts.seed,
+        &cfg,
+    );
+    let report = RTrainer::with_recorder(cfg, rec)
         .train(model.as_mut(), &graph, &mut rng)
         .unwrap();
 
     let mut csv = CsvWriter::create(
         opts.out_dir.join("fig9.csv"),
         &[
-            "epoch", "omega_size", "acc_all", "acc_omega", "acc_rest",
-            "links", "true_links", "false_links",
-            "added_true", "added_false", "dropped_true", "dropped_false",
+            "epoch",
+            "omega_size",
+            "acc_all",
+            "acc_omega",
+            "acc_rest",
+            "links",
+            "true_links",
+            "false_links",
+            "added_true",
+            "added_false",
+            "dropped_true",
+            "dropped_false",
         ],
     )
     .expect("csv");
@@ -65,13 +85,20 @@ fn main() {
     csv.finish().expect("csv flush");
 
     println!("\n== Figure 9: learning dynamics of R-GMM-VGAE on cora-like ==");
-    println!("(a) decidable nodes |Omega| (of N = {}):", graph.num_nodes());
+    println!(
+        "(a) decidable nodes |Omega| (of N = {}):",
+        graph.num_nodes()
+    );
     print!("{}", ascii_lines(&[("omega", &omega_sz)], 70, 10));
     println!("(b)+(c) accuracy overall / on Omega / on rest:");
     print!(
         "{}",
         ascii_lines(
-            &[("all", &acc_all), ("omega", &acc_omega), ("rest", &acc_rest)],
+            &[
+                ("all", &acc_all),
+                ("omega", &acc_omega),
+                ("rest", &acc_rest)
+            ],
             70,
             12
         )

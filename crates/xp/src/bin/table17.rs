@@ -22,11 +22,7 @@ fn metrics_of(pred: &[usize], truth: &[usize]) -> Metrics {
 }
 
 /// DAEGC-lite: DGAE trained over the 2-hop proximity filter.
-fn run_daegc_lite(
-    graph: &rgae_graph::AttributedGraph,
-    epochs: usize,
-    seed: u64,
-) -> Metrics {
+fn run_daegc_lite(graph: &rgae_graph::AttributedGraph, epochs: usize, seed: u64) -> Metrics {
     let data: TrainData = daegc_lite_data(graph);
     let mut rng = Rng64::seed_from_u64(seed);
     let mut model = Dgae::new(data.num_features(), graph.num_classes(), &mut rng);
@@ -53,6 +49,8 @@ fn run_daegc_lite(
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let epochs = if opts.quick { 60 } else { 150 };
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut csv = CsvWriter::create(
@@ -89,9 +87,7 @@ fn main() {
 
         // Shallow baselines (best of `trials` runs, like the paper).
         let best = |f: &mut dyn FnMut(u64) -> Metrics| -> Metrics {
-            let ms: Vec<Metrics> = (0..opts.trials)
-                .map(|t| f(opts.seed + t as u64))
-                .collect();
+            let ms: Vec<Metrics> = (0..opts.trials).map(|t| f(opts.seed + t as u64)).collect();
             best_metrics(&ms)
         };
         let m = best(&mut |s| {
@@ -120,7 +116,7 @@ fn main() {
             let mut plain_ms = Vec::new();
             let mut r_ms = Vec::new();
             for trial in 0..opts.trials {
-                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64);
+                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64, rec);
                 plain_ms.push(out.plain.final_metrics);
                 r_ms.push(out.r.final_metrics);
             }

@@ -10,6 +10,8 @@ use rgae_xp::{
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let mut best_rows: Vec<Vec<String>> = Vec::new();
     let mut mean_rows: Vec<Vec<String>> = Vec::new();
     let mut csv = CsvWriter::create(
@@ -36,7 +38,7 @@ fn main() {
             let mut plain_ms: Vec<Metrics> = Vec::new();
             let mut r_ms: Vec<Metrics> = Vec::new();
             for trial in 0..opts.trials {
-                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64);
+                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64, rec);
                 for (variant, m) in [
                     ("plain", out.plain.final_metrics),
                     ("r", out.r.final_metrics),
@@ -96,5 +98,8 @@ fn main() {
         &["dataset", "method", "ACC", "NMI", "ARI"],
         &mean_rows,
     );
-    println!("\nCSV written to {}", opts.out_dir.join("table3_4.csv").display());
+    println!(
+        "\nCSV written to {}",
+        opts.out_dir.join("table3_4.csv").display()
+    );
 }

@@ -8,6 +8,8 @@ use rgae_xp::{print_table, rconfig_for, run_pair, stats, DatasetKind, HarnessOpt
 
 fn main() {
     let mut opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     // The paper uses ten trials for timing; keep that unless --quick.
     if !opts.quick && opts.trials < 10 {
         opts.trials = 10;
@@ -31,13 +33,15 @@ fn main() {
             let mut plain_pe = Vec::new();
             let mut r_pe = Vec::new();
             for trial in 0..opts.trials {
-                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64);
+                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64, rec);
                 plain_t.push(out.plain.train_seconds);
                 r_t.push(out.r.train_seconds);
                 plain_pe.push(out.plain.train_seconds / out.plain.epochs.len().max(1) as f64);
                 r_pe.push(out.r.train_seconds / out.r.epochs.len().max(1) as f64);
-                for (variant, t) in [("plain", out.plain.train_seconds), ("r", out.r.train_seconds)]
-                {
+                for (variant, t) in [
+                    ("plain", out.plain.train_seconds),
+                    ("r", out.r.train_seconds),
+                ] {
                     csv.row_strs(&[
                         dataset.name().into(),
                         model.name().into(),

@@ -8,10 +8,14 @@ use rgae_core::{FdMode, RTrainer};
 use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_viz::CsvWriter;
-use rgae_xp::{pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{
+    bin_name, emit_run_start, pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind,
+};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let data = TrainData::from_graph(&graph);
@@ -26,7 +30,7 @@ fn main() {
     for model in ModelKind::second_group() {
         let base_cfg = rconfig_for(model, dataset, opts.quick);
         let mut rng = Rng64::seed_from_u64(opts.seed);
-        let trainer = RTrainer::new(base_cfg.clone());
+        let trainer = RTrainer::with_recorder(base_cfg.clone(), rec);
         let mut pretrained = model.build(data.num_features(), graph.num_classes(), &mut rng);
         trainer
             .pretrain(pretrained.as_mut(), &data, &mut rng)
@@ -41,7 +45,16 @@ fn main() {
             cfg.fd_mode = mode;
             let mut variant = pretrained.clone_box();
             let mut rng_v = Rng64::seed_from_u64(opts.seed ^ 0xF0);
-            let report = RTrainer::new(cfg)
+            emit_run_start(
+                rec,
+                &bin_name(),
+                model.name(),
+                dataset.name(),
+                &format!("r-{label}"),
+                opts.seed,
+                &cfg,
+            );
+            let report = RTrainer::with_recorder(cfg, rec)
                 .train_clustering_phase(variant.as_mut(), &graph, &data, &mut rng_v)
                 .unwrap();
             let m = report.final_metrics;
@@ -61,11 +74,7 @@ fn main() {
     csv.finish().expect("csv flush");
     print_table(
         "Table 7: protection vs correction against FD (cora-like)",
-        &[
-            "method",
-            "protection ACC/NMI/ARI",
-            "correction ACC/NMI/ARI",
-        ],
+        &["method", "protection ACC/NMI/ARI", "correction ACC/NMI/ARI"],
         &rows,
     );
 }

@@ -5,10 +5,14 @@ use rgae_core::RTrainer;
 use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_viz::CsvWriter;
-use rgae_xp::{pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{
+    bin_name, emit_run_start, pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind,
+};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let trace = opts.recorder();
+    let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let data = TrainData::from_graph(&graph);
@@ -23,7 +27,7 @@ fn main() {
     for model in ModelKind::second_group() {
         let base_cfg = rconfig_for(model, dataset, opts.quick);
         let mut rng = Rng64::seed_from_u64(opts.seed);
-        let trainer = RTrainer::new(base_cfg.clone());
+        let trainer = RTrainer::with_recorder(base_cfg.clone(), rec);
         let mut pretrained = model.build(data.num_features(), graph.num_classes(), &mut rng);
         trainer
             .pretrain(pretrained.as_mut(), &data, &mut rng)
@@ -42,7 +46,16 @@ fn main() {
             cfg.use_upsilon = use_upsilon;
             let mut variant = pretrained.clone_box();
             let mut rng_v = Rng64::seed_from_u64(opts.seed ^ 0x9);
-            let report = RTrainer::new(cfg)
+            emit_run_start(
+                rec,
+                &bin_name(),
+                model.name(),
+                dataset.name(),
+                &format!("r-{}", label.replace(' ', "_")),
+                opts.seed,
+                &cfg,
+            );
+            let report = RTrainer::with_recorder(cfg, rec)
                 .train_clustering_phase(variant.as_mut(), &graph, &data, &mut rng_v)
                 .unwrap();
             let m = report.final_metrics;

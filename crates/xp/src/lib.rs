@@ -5,10 +5,11 @@
 use std::path::PathBuf;
 use std::rc::Rc;
 
-use rgae_core::{train_plain, Metrics, PlainReport, RConfig, RReport, RTrainer, XiConfig};
+use rgae_core::{train_plain_traced, Metrics, PlainReport, RConfig, RReport, RTrainer, XiConfig};
 use rgae_graph::AttributedGraph;
 use rgae_linalg::Rng64;
 use rgae_models::{Argae, Arvgae, Dgae, Gae, GaeModel, GmmVgae, TrainData, Vgae};
+use rgae_obs::{timestamp_ms, Event, JsonlSink, NoopRecorder, Recorder, RunManifest};
 
 /// Options shared by every experiment binary.
 #[derive(Clone, Debug)]
@@ -25,6 +26,8 @@ pub struct HarnessOpts {
     pub out_dir: PathBuf,
     /// Restrict multi-dataset binaries to one dataset (preset name).
     pub only_dataset: Option<String>,
+    /// JSONL run-log path (`--trace-out`); `None` disables tracing.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for HarnessOpts {
@@ -36,16 +39,22 @@ impl Default for HarnessOpts {
             trials: 3,
             out_dir: PathBuf::from("results"),
             only_dataset: None,
+            trace_out: None,
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parse `--quick`, `--scale S`, `--seed N`, `--trials N`, `--out DIR`
-    /// from the process arguments.
+    /// Parse `--quick`, `--scale S`, `--seed N`, `--trials N`, `--out DIR`,
+    /// `--dataset NAME`, `--trace-out PATH` from the process arguments.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
+        let value = |args: &[String], i: usize, flag: &str| -> String {
+            args.get(i)
+                .unwrap_or_else(|| panic!("`{flag}` requires a value"))
+                .clone()
+        };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -53,26 +62,36 @@ impl HarnessOpts {
                 "--full" => opts.scale = 1.0,
                 "--scale" => {
                     i += 1;
-                    opts.scale = args[i].parse().expect("--scale takes a float");
+                    opts.scale = value(&args, i, "--scale")
+                        .parse()
+                        .expect("--scale takes a float");
                 }
                 "--seed" => {
                     i += 1;
-                    opts.seed = args[i].parse().expect("--seed takes an integer");
+                    opts.seed = value(&args, i, "--seed")
+                        .parse()
+                        .expect("--seed takes an integer");
                 }
                 "--trials" => {
                     i += 1;
-                    opts.trials = args[i].parse().expect("--trials takes an integer");
+                    opts.trials = value(&args, i, "--trials")
+                        .parse()
+                        .expect("--trials takes an integer");
                 }
                 "--out" => {
                     i += 1;
-                    opts.out_dir = PathBuf::from(&args[i]);
+                    opts.out_dir = PathBuf::from(value(&args, i, "--out"));
                 }
                 "--dataset" => {
                     i += 1;
-                    opts.only_dataset = Some(args[i].clone());
+                    opts.only_dataset = Some(value(&args, i, "--dataset"));
+                }
+                "--trace-out" => {
+                    i += 1;
+                    opts.trace_out = Some(PathBuf::from(value(&args, i, "--trace-out")));
                 }
                 other => panic!(
-                    "unknown option `{other}` (known: --quick --full --scale --seed --trials --out --dataset)"
+                    "unknown option `{other}` (known: --quick --full --scale --seed --trials --out --dataset --trace-out)"
                 ),
             }
             i += 1;
@@ -95,6 +114,63 @@ impl HarnessOpts {
             .as_deref()
             .is_none_or(|d| d == dataset.name())
     }
+
+    /// The run-log recorder selected by `--trace-out`: a [`JsonlSink`] when
+    /// a path was given, the no-op recorder otherwise. Call once per binary
+    /// and pass `&*recorder` down to the runs.
+    pub fn recorder(&self) -> Box<dyn Recorder> {
+        match &self.trace_out {
+            Some(path) => Box::new(
+                JsonlSink::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create trace log {path:?}: {e}")),
+            ),
+            None => Box::new(NoopRecorder),
+        }
+    }
+}
+
+/// The executable's name (for run manifests), from `argv[0]`.
+pub fn bin_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|p| {
+            std::path::Path::new(p)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_owned)
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Emit the [`RunManifest`] that opens one training run in the run log.
+/// No-op when tracing is off; the closing summary comes from the trainer.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_run_start(
+    rec: &dyn Recorder,
+    binary: &str,
+    model: &str,
+    dataset: &str,
+    variant: &str,
+    seed: u64,
+    cfg: &RConfig,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(&Event::RunStart(RunManifest {
+        run_id: format!(
+            "{binary}-{dataset}-{model}-{variant}-{seed}-{}",
+            timestamp_ms()
+        ),
+        binary: binary.to_owned(),
+        dataset: dataset.to_owned(),
+        model: model.to_owned(),
+        variant: variant.to_owned(),
+        seed,
+        workspace_version: env!("CARGO_PKG_VERSION").to_owned(),
+        config: cfg.to_json(),
+    }));
 }
 
 /// The six models of the protocol.
@@ -316,27 +392,41 @@ pub struct PairOutcome {
     pub r: RReport,
 }
 
-/// Run the 𝒟 / R-𝒟 pair for one model on one graph.
+/// Run the 𝒟 / R-𝒟 pair for one model on one graph. Each half of the pair
+/// is logged as its own run (variants `plain` and `r`) through `rec`.
 pub fn run_pair(
     model: ModelKind,
     dataset: DatasetKind,
     graph: &AttributedGraph,
     cfg: &RConfig,
     seed: u64,
+    rec: &dyn Recorder,
 ) -> PairOutcome {
-    let _ = dataset;
+    let binary = bin_name();
     let data = TrainData::from_graph(graph);
     let mut rng = Rng64::seed_from_u64(seed);
     let (mut plain_model, mut r_model) =
         model.build_pair(data.num_features(), graph.num_classes(), &mut rng);
-    let trainer = RTrainer::new(cfg.clone());
+    let trainer = RTrainer::with_recorder(cfg.clone(), rec);
     // Shared pretraining on the R twin's weights == plain twin's weights
     // (identical init); pretrain each with the same RNG stream for identical
     // trajectories where sampling is involved.
     let mut rng_a = Rng64::seed_from_u64(seed ^ 0x5151);
     let mut rng_b = Rng64::seed_from_u64(seed ^ 0x5151);
-    let plain = train_plain(plain_model.as_mut(), graph, cfg, &mut rng_a).unwrap();
-    trainer.pretrain(r_model.as_mut(), &data, &mut rng_b).unwrap();
+    emit_run_start(
+        rec,
+        &binary,
+        model.name(),
+        dataset.name(),
+        "plain",
+        seed,
+        cfg,
+    );
+    let plain = train_plain_traced(plain_model.as_mut(), graph, cfg, &mut rng_a, rec).unwrap();
+    emit_run_start(rec, &binary, model.name(), dataset.name(), "r", seed, cfg);
+    trainer
+        .pretrain(r_model.as_mut(), &data, &mut rng_b)
+        .unwrap();
     let r = trainer
         .train_clustering_phase(r_model.as_mut(), graph, &data, &mut rng_b)
         .unwrap();
@@ -398,10 +488,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    println!(
-        "{}",
-        line(headers.iter().map(|h| h.to_string()).collect())
-    );
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
     println!(
         "|{}|",
         widths

@@ -36,11 +36,9 @@ fn main() {
 
     let model = ModelKind::GmmVgae;
     let cfg = rconfig_for(model, dataset, true);
-    let out = run_pair(model, dataset, &graph, &cfg, 3);
+    let out = run_pair(model, dataset, &graph, &cfg, 3, &rgae_obs::NOOP);
     println!("\nGMM-VGAE   : {}", out.plain.final_metrics);
     println!("R-GMM-VGAE : {}", out.r.final_metrics);
-    println!(
-        "\nThe R-variant's edge edits matter here: hub-to-hub links between"
-    );
+    println!("\nThe R-variant's edge edits matter here: hub-to-hub links between");
     println!("different tiers are exactly the clustering-irrelevant edges Upsilon drops.");
 }

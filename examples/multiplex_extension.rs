@@ -34,8 +34,14 @@ fn main() {
             words_per_node: 10,
             topic_purity: 0.5,
             layers: vec![
-                LayerSpec { avg_degree: 4.0, homophily: 0.85 }, // citations
-                LayerSpec { avg_degree: 3.0, homophily: 0.50 }, // co-authorship
+                LayerSpec {
+                    avg_degree: 4.0,
+                    homophily: 0.85,
+                }, // citations
+                LayerSpec {
+                    avg_degree: 3.0,
+                    homophily: 0.50,
+                }, // co-authorship
             ],
         },
         7,
@@ -73,7 +79,10 @@ fn main() {
         let spec = StepSpec {
             recon_target: Some(Rc::clone(&data.adjacency)),
             gamma: 0.001,
-            cluster: Some(ClusterStep { target, omega: None }),
+            cluster: Some(ClusterStep {
+                target,
+                omega: None,
+            }),
         };
         plain.train_step(&data, &spec, &mut rng).unwrap();
     }
@@ -90,15 +99,9 @@ fn main() {
             let omega = xi(&p, &xi_cfg).unwrap();
             if !omega.is_empty() {
                 let z = r_model.embed(&data);
-                let out = upsilon_multiplex(
-                    &mx,
-                    &p,
-                    &z,
-                    &omega.indices,
-                    &UpsilonConfig::default(),
-                    0,
-                )
-                .unwrap();
+                let out =
+                    upsilon_multiplex(&mx, &p, &z, &omega.indices, &UpsilonConfig::default(), 0)
+                        .unwrap();
                 target_graph = Rc::new(multiplex_self_supervision(&out));
             }
         }
@@ -106,7 +109,10 @@ fn main() {
         let spec = StepSpec {
             recon_target: Some(Rc::clone(&target_graph)),
             gamma: 0.001,
-            cluster: Some(ClusterStep { target, omega: None }),
+            cluster: Some(ClusterStep {
+                target,
+                omega: None,
+            }),
         };
         r_model.train_step(&data, &spec, &mut rng).unwrap();
     }

@@ -16,10 +16,15 @@ fn main() {
     let a = Csr::adjacency_from_edges(
         8,
         &[
-            (0, 1), (1, 2), (2, 3), (0, 2), // community A
-            (4, 5), (5, 6), (4, 6),         // community B
-            (3, 4),                         // clustering-irrelevant bridge
-            (6, 7),                         // 7 loosely attached to B
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 2), // community A
+            (4, 5),
+            (5, 6),
+            (4, 6), // community B
+            (3, 4), // clustering-irrelevant bridge
+            (6, 7), // 7 loosely attached to B
         ],
     )
     .expect("valid edges");
@@ -54,20 +59,23 @@ fn main() {
     for i in 0..8 {
         let lam1 = omega.lambda1[i];
         let lam2 = omega.lambda2[i];
-        let mark = if omega.indices.contains(&i) { "DECIDABLE" } else { "-" };
-        println!("  node {i}: lambda1 = {lam1:.2}, margin = {:.2}  {mark}", lam1 - lam2);
+        let mark = if omega.indices.contains(&i) {
+            "DECIDABLE"
+        } else {
+            "-"
+        };
+        println!(
+            "  node {i}: lambda1 = {lam1:.2}, margin = {:.2}  {mark}",
+            lam1 - lam2
+        );
     }
-    println!(
-        "Omega = {:?} ({} of 8 nodes)\n",
-        omega.indices,
-        omega.len()
-    );
+    println!("Omega = {:?} ({} of 8 nodes)\n", omega.indices, omega.len());
 
     // --- Υ: rewrite the self-supervision graph ----------------------------
     let labels = [0, 0, 0, 0, 1, 1, 1, 1];
     let before = GraphStats::compute(&a, &labels);
-    let out = upsilon(&a, &p, &z, &omega.indices, &UpsilonConfig::default())
-        .expect("consistent inputs");
+    let out =
+        upsilon(&a, &p, &z, &omega.indices, &UpsilonConfig::default()).expect("consistent inputs");
     let after = GraphStats::compute(&out.graph, &labels);
     println!("Upsilon:");
     println!("  centroid nodes per cluster: {:?}", out.centroids);

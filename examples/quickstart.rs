@@ -32,7 +32,9 @@ fn main() {
     //    shrunk to a demo budget.
     let cfg = RConfig::for_dataset("cora-like").quick();
     let trainer = RTrainer::new(cfg);
-    let report = trainer.train(&mut model, &graph, &mut rng).expect("training succeeds");
+    let report = trainer
+        .train(&mut model, &graph, &mut rng)
+        .expect("training succeeds");
 
     // 4. Results.
     println!("after pretraining : {}", report.pretrain_metrics);

@@ -1,14 +1,20 @@
 #!/bin/bash
 cd /root/repo
+mkdir -p results/logs
+# The training loops allocate and free large matrices every epoch; glibc's
+# default trim/mmap thresholds hand those pages back to the kernel on every
+# free, costing millions of minor page faults (~30% wall time on a full
+# sweep). Keeping the thresholds high keeps the pages in the process.
+export GLIBC_TUNABLES=glibc.malloc.trim_threshold=67108864:glibc.malloc.mmap_threshold=67108864
 set -x
-timeout 2400 cargo run --release -p rgae-xp --bin table1_2 -- --dataset pubmed-like --out results/pubmed_fix > results/logs/table1_2_pubmed.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin table1_2 -- --dataset pubmed-like --out results/pubmed_fix --trace-out results/logs/table1_2_pubmed.jsonl > results/logs/table1_2_pubmed.log 2>&1
 for b in table3_4 table6 table7 table8 table9 fig4 fig9 fig13; do
-  timeout 2000 cargo run --release -p rgae-xp --bin $b > results/logs/$b.log 2>&1
+  timeout 2000 cargo run --release -p rgae-xp --bin $b -- --trace-out results/logs/$b.jsonl > results/logs/$b.log 2>&1
 done
-timeout 1200 cargo run --release -p rgae-xp --bin table5 -- --trials 5 > results/logs/table5.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin fig5_6 -- --scale 0.25 > results/logs/fig5_6.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin fig7_8 -- --scale 0.25 > results/logs/fig7_8.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin fig11_12 -- --scale 0.25 > results/logs/fig11_12.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin table17 -- --scale 0.3 --trials 2 > results/logs/table17.log 2>&1
-timeout 1200 cargo run --release -p rgae-xp --bin fig10 -- --scale 0.2 > results/logs/fig10.log 2>&1
+timeout 1200 cargo run --release -p rgae-xp --bin table5 -- --trials 5 --trace-out results/logs/table5.jsonl > results/logs/table5.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin fig5_6 -- --scale 0.25 --trace-out results/logs/fig5_6.jsonl > results/logs/fig5_6.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin fig7_8 -- --scale 0.25 --trace-out results/logs/fig7_8.jsonl > results/logs/fig7_8.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin fig11_12 -- --scale 0.25 --trace-out results/logs/fig11_12.jsonl > results/logs/fig11_12.log 2>&1
+timeout 2400 cargo run --release -p rgae-xp --bin table17 -- --scale 0.3 --trials 2 --trace-out results/logs/table17.jsonl > results/logs/table17.log 2>&1
+timeout 1200 cargo run --release -p rgae-xp --bin fig10 -- --scale 0.2 --trace-out results/logs/fig10.jsonl > results/logs/fig10.log 2>&1
 echo ALL DONE

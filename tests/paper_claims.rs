@@ -78,29 +78,33 @@ fn claim_r_variant_not_worse() {
     assert!(mean > -0.02, "mean ACC delta {mean}");
 }
 
-/// Table 6 shape: protection (no delay) beats a long correction delay.
+/// Table 6 shape: protection (no delay) does not lose to a long correction
+/// delay. Averaged over seeds — at miniature scale a single pairing swings
+/// by ±0.1 ACC, so the single-seed form of this test was a knife edge.
 #[test]
 fn claim_protection_beats_long_delay() {
-    let (graph, data, base, cfg) = setup(ModelKind::Dgae, 31);
-    let run = |delay: usize, base: &dyn rgae_models::GaeModel| {
-        let mut cfg = cfg.clone();
-        cfg.delay_xi = delay;
-        cfg.min_epochs = cfg.max_epochs.max(delay + 15);
-        cfg.max_epochs = cfg.min_epochs;
-        let mut m = base.clone_box();
-        let mut rng = Rng64::seed_from_u64(2);
-        RTrainer::new(cfg)
-            .train_clustering_phase(m.as_mut(), &graph, &data, &mut rng)
-            .unwrap()
-            .final_metrics
-            .acc
-    };
-    let protection = run(0, base.as_ref());
-    let correction = run(40, base.as_ref());
-    assert!(
-        protection + 0.06 >= correction,
-        "protection {protection} vs delayed {correction}"
-    );
+    let mut diff = 0.0;
+    let mut runs = 0;
+    for seed in 31..36 {
+        let (graph, data, base, cfg) = setup(ModelKind::Dgae, seed);
+        let run = |delay: usize, base: &dyn rgae_models::GaeModel| {
+            let mut cfg = cfg.clone();
+            cfg.delay_xi = delay;
+            cfg.min_epochs = cfg.max_epochs.max(delay + 15);
+            cfg.max_epochs = cfg.min_epochs;
+            let mut m = base.clone_box();
+            let mut rng = Rng64::seed_from_u64(2);
+            RTrainer::new(cfg)
+                .train_clustering_phase(m.as_mut(), &graph, &data, &mut rng)
+                .unwrap()
+                .final_metrics
+                .acc
+        };
+        diff += run(0, base.as_ref()) - run(40, base.as_ref());
+        runs += 1;
+    }
+    let mean = diff / runs as f64;
+    assert!(mean > -0.04, "mean protection − delayed ACC delta {mean}");
 }
 
 /// Table 7 shape: for FD, gradual correction beats single-step protection.
@@ -161,7 +165,12 @@ fn claim_full_operators_not_worse_than_double_ablation() {
 #[test]
 fn claim_upsilon_graph_reduces_fd() {
     use rgae_core::{one_hot_targets, q_prime, upsilon, UpsilonConfig};
-    let (graph, data, mut model, mut cfg) = setup(ModelKind::GmmVgae, 61);
+    // Scale 0.25, not the usual 0.15: below ~400 nodes the Ξ-restricted Υ
+    // rewrite has too few confident nodes for the homophily gain to clear
+    // the noise floor on every seed.
+    let (graph, data, mut model, mut cfg) = setup_at(ModelKind::GmmVgae, 61, 0.25, 60);
+    cfg.m1 = cfg.m1.min(10);
+    cfg.m2 = cfg.m2.min(5);
     cfg.track_diagnostics = true;
     cfg.min_epochs = cfg.max_epochs;
     let mut rng = Rng64::seed_from_u64(5);
@@ -175,9 +184,15 @@ fn claim_upsilon_graph_reduces_fd() {
     let qp = q_prime(&p.row_argmax(), graph.labels());
     let one_hot = one_hot_targets(&qp, p.cols());
     let all: Vec<usize> = (0..data.num_nodes).collect();
-    let sup = upsilon(&data.adjacency, &one_hot, &z, &all, &UpsilonConfig::default())
-        .unwrap()
-        .graph;
+    let sup = upsilon(
+        &data.adjacency,
+        &one_hot,
+        &z,
+        &all,
+        &UpsilonConfig::default(),
+    )
+    .unwrap()
+    .graph;
     assert!(rgae_graph::edge_homophily(&sup, graph.labels()) > 0.95);
 
     // Fig. 9d–f content: the rewritten self-supervision graph is more
@@ -236,10 +251,7 @@ fn claim_xi_restriction_raises_lambda_fr_early() {
     if restricted.len() >= 3 {
         let mr = restricted.iter().sum::<f64>() / restricted.len() as f64;
         let mf = full.iter().sum::<f64>() / full.len() as f64;
-        assert!(
-            mr + 0.02 >= mf,
-            "early Λ_FR restricted {mr} vs full {mf}"
-        );
+        assert!(mr + 0.02 >= mf, "early Λ_FR restricted {mr} vs full {mf}");
     }
 }
 

@@ -13,7 +13,10 @@ use rgae_xp::{rconfig_for, run_pair, DatasetKind, ModelKind};
 fn full_pipeline_on_every_dataset_preset() {
     // Every preset builds, produces consistent TrainData, and supports a
     // couple of pretraining steps of the cheapest model.
-    for dataset in DatasetKind::citation().into_iter().chain(DatasetKind::air()) {
+    for dataset in DatasetKind::citation()
+        .into_iter()
+        .chain(DatasetKind::air())
+    {
         let graph = dataset.build(0.12, 3);
         let data = TrainData::from_graph(&graph);
         assert_eq!(data.num_nodes, graph.num_nodes());
@@ -41,10 +44,20 @@ fn operators_compose_on_real_embeddings() {
 
     let p = model.soft_assignments(&data).unwrap().unwrap();
     let omega = xi(&p, &XiConfig::new(0.3)).unwrap();
-    assert!(!omega.is_empty(), "pretrained model should have confident nodes");
+    assert!(
+        !omega.is_empty(),
+        "pretrained model should have confident nodes"
+    );
 
     let z = model.embed(&data);
-    let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &UpsilonConfig::default()).unwrap();
+    let out = upsilon(
+        &data.adjacency,
+        &p,
+        &z,
+        &omega.indices,
+        &UpsilonConfig::default(),
+    )
+    .unwrap();
     let before = GraphStats::compute(&data.adjacency, graph.labels());
     let after = GraphStats::compute(&out.graph, graph.labels());
     // The rewrite must keep the graph usable and not destroy homophily.
@@ -59,7 +72,14 @@ fn run_pair_protocol_is_consistent() {
     let dataset = DatasetKind::BrazilAir;
     let graph = dataset.build(1.0, 4);
     let cfg = rconfig_for(ModelKind::GmmVgae, dataset, true);
-    let out = run_pair(ModelKind::GmmVgae, dataset, &graph, &cfg, 9);
+    let out = run_pair(
+        ModelKind::GmmVgae,
+        dataset,
+        &graph,
+        &cfg,
+        9,
+        &rgae_obs::NOOP,
+    );
     // Shared pretraining: both phases start from the same place.
     assert!(
         (out.plain.pretrain_metrics.acc - out.r.pretrain_metrics.acc).abs() < 0.1,
