@@ -345,20 +345,28 @@ impl Graph {
         }
         let (r, c) = x.shape();
         // Σ over all entries of softplus(x) (the t=0 branch), then correct
-        // the positive entries.
-        let mut total = 0.0;
-        for i in 0..r {
-            let row = x.row(i);
-            for &v in row {
-                total += softplus(v);
-            }
-            for (j, t) in target.row_iter(i) {
-                let v = row[j];
-                // Replace softplus(v) with pos_weight·t·softplus(−v) plus
-                // (1−t)·softplus(v).
-                total += pos_weight * t * softplus(-v) - t * softplus(v);
-            }
-        }
+        // the positive entries. Row-parallel with an ordered reduction:
+        // fixed-width row-chunk partials are folded in chunk order, so the
+        // loss bits are independent of the thread count.
+        let tgt: &Csr = target;
+        let total = rgae_par::timed("bce_sparse_fwd", || {
+            rgae_par::par_sum_by(r, |range| {
+                let mut acc = 0.0;
+                for i in range {
+                    let row = x.row(i);
+                    for &v in row {
+                        acc += softplus(v);
+                    }
+                    for (j, t) in tgt.row_iter(i) {
+                        let v = row[j];
+                        // Replace softplus(v) with pos_weight·t·softplus(−v)
+                        // plus (1−t)·softplus(v).
+                        acc += pos_weight * t * softplus(-v) - t * softplus(v);
+                    }
+                }
+                acc
+            })
+        });
         let denom = (r * c) as f64;
         let v = Mat::full(1, 1, norm * total / denom);
         let ng = self.needs(logits);
@@ -483,11 +491,19 @@ impl Graph {
             Op::Leaf | Op::Constant => {}
             Op::MatMul(a, b) => {
                 let (a, b) = (*a, *b);
-                if self.needs(a) {
+                if self.needs(a) && self.needs(b) {
+                    // The two input gradients are independent; fork-join them.
+                    // Captures are narrowed to `&Mat` (Sync) so the closures
+                    // are Send despite the tape's Rc-holding nodes.
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let (da, db) = rgae_par::par_join(|| g.matmul_t(bv), || av.t_matmul(g));
+                    self.accum(a, da?);
+                    self.accum(b, db?);
+                } else if self.needs(a) {
                     let da = g.matmul_t(&self.nodes[b.0].value)?;
                     self.accum(a, da);
-                }
-                if self.needs(b) {
+                } else if self.needs(b) {
                     let db = self.nodes[a.0].value.t_matmul(g)?;
                     self.accum(b, db);
                 }
@@ -698,18 +714,22 @@ impl Graph {
                     let x = &self.nodes[logits.0].value;
                     let (r, c) = x.shape();
                     let gs = g.as_slice()[0] * norm / ((r * c) as f64);
-                    // t = 0 branch everywhere: d softplus(x) = σ(x).
-                    let mut dx = x.map(|v| gs * sigmoid(v));
-                    // Correct the positive entries:
-                    // d[pw·t·softplus(−x) + (1−t)·softplus(x)]
-                    //   = pw·t·(σ(x) − 1) + (1 − t)·σ(x).
-                    for i in 0..r {
-                        for (j, t) in target.row_iter(i) {
-                            let v = x[(i, j)];
-                            let s = sigmoid(v);
-                            dx[(i, j)] = gs * (pos_weight * t * (s - 1.0) + (1.0 - t) * s);
+                    let dx = rgae_par::timed("bce_sparse_bwd", || {
+                        // t = 0 branch everywhere: d softplus(x) = σ(x);
+                        // the dense map runs on the pool.
+                        let mut dx = x.map(|v| gs * sigmoid(v));
+                        // Correct the positive entries:
+                        // d[pw·t·softplus(−x) + (1−t)·softplus(x)]
+                        //   = pw·t·(σ(x) − 1) + (1 − t)·σ(x).
+                        for i in 0..r {
+                            for (j, t) in target.row_iter(i) {
+                                let v = x[(i, j)];
+                                let s = sigmoid(v);
+                                dx[(i, j)] = gs * (pos_weight * t * (s - 1.0) + (1.0 - t) * s);
+                            }
                         }
-                    }
+                        dx
+                    });
                     self.accum(logits, dx);
                 }
             }

@@ -371,6 +371,103 @@ fn shape_errors_are_reported_not_panicked() {
 }
 
 #[test]
+fn check_two_layer_gcn_path_with_three_threads() {
+    // Re-run the heaviest finite-difference check with the parallel kernels
+    // engaged (3 workers): the analytic/numeric agreement must be unaffected
+    // by the thread count.
+    rgae_par::with_threads(3, || {
+        let w0 = rand_mat(3, 4, 28).scale(0.5);
+        let w1 = rand_mat(4, 2, 29).scale(0.5);
+        let x = rand_mat(5, 3, 30);
+        let a = Rc::new(
+            Csr::adjacency_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+                .unwrap()
+                .gcn_normalized()
+                .unwrap(),
+        );
+        let t = Rc::new(Csr::adjacency_from_edges(5, &[(0, 1), (2, 3)]).unwrap());
+        grad_check(&[w0, w1], move |g, v| {
+            let xv = g.constant(x.clone());
+            let h = g.spmm(&a, xv).unwrap();
+            let h = g.matmul(h, v[0]).unwrap();
+            let h = g.relu(h);
+            let h = g.spmm(&a, h).unwrap();
+            let z = g.matmul(h, v[1]).unwrap();
+            let s = g.gram(z);
+            g.bce_logits_sparse(s, &t, 4.0, 1.0).unwrap()
+        });
+    });
+}
+
+#[test]
+fn check_bce_through_gram_with_three_threads() {
+    rgae_par::with_threads(3, || {
+        let z = rand_mat(4, 2, 18);
+        let t = Rc::new(Csr::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap());
+        grad_check(&[z], move |g, v| {
+            let s = g.gram(v[0]);
+            g.bce_logits_sparse(s, &t, 3.0, 1.2).unwrap()
+        });
+    });
+}
+
+#[test]
+fn analytic_gradients_bitwise_stable_across_threads() {
+    // The serial and 3-thread tapes must produce *identical bits*, not just
+    // tolerance-level agreement: this is the determinism contract the
+    // differential suite in `rgae-par` proves kernel by kernel, restated at
+    // the level of a whole encoder/decoder backward pass.
+    let run = || {
+        let w0 = rand_mat(6, 4, 40).scale(0.5);
+        let w1 = rand_mat(4, 3, 41).scale(0.5);
+        let x = rand_mat(9, 6, 42);
+        let a = Rc::new(
+            Csr::adjacency_from_edges(
+                9,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 8),
+                    (8, 0),
+                ],
+            )
+            .unwrap()
+            .gcn_normalized()
+            .unwrap(),
+        );
+        let t = Rc::new(Csr::adjacency_from_edges(9, &[(0, 1), (2, 3), (5, 7)]).unwrap());
+        let mut g = Graph::new();
+        let v0 = g.leaf(w0);
+        let v1 = g.leaf(w1);
+        let xv = g.constant(x);
+        let h = g.spmm(&a, xv).unwrap();
+        let h = g.matmul(h, v0).unwrap();
+        let h = g.relu(h);
+        let h = g.spmm(&a, h).unwrap();
+        let z = g.matmul(h, v1).unwrap();
+        let s = g.gram(z);
+        let loss = g.bce_logits_sparse(s, &t, 4.0, 1.0).unwrap();
+        g.backward(loss).unwrap();
+        let bits = |m: &Mat| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        (
+            g.scalar(loss).to_bits(),
+            bits(g.grad(v0).unwrap()),
+            bits(g.grad(v1).unwrap()),
+        )
+    };
+    let serial = rgae_par::with_threads(1, run);
+    for t in [2usize, 3, 8] {
+        let threaded = rgae_par::with_threads(t, run);
+        assert_eq!(threaded, serial, "threads={t}");
+    }
+}
+
+#[test]
 fn zero_rows_gather_gives_empty_but_valid() {
     let mut g = Graph::new();
     let x = g.leaf(Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap());

@@ -3,7 +3,7 @@
 use rgae_linalg::{Mat, Rng64};
 use rgae_obs::{span, Recorder, NOOP};
 
-use crate::{kmeans_traced, Error, Result};
+use crate::{kmeans_traced, par_point_chunk, Error, Result};
 
 /// A fitted diagonal-covariance Gaussian mixture model.
 ///
@@ -79,57 +79,87 @@ impl GaussianMixture {
 
         for _ in 0..max_iter {
             em_iterations += 1;
-            // E step: responsibilities via log-sum-exp.
+            // E step: responsibilities via log-sum-exp, point-parallel. The
+            // log-likelihood is accumulated as one partial per point and
+            // folded in index order afterwards, so its bits cannot depend on
+            // the thread count.
             let mut resp = Mat::zeros(n, k);
-            let mut ll = 0.0;
-            for i in 0..n {
-                let mut logp = vec![0.0; k];
-                for c in 0..k {
-                    logp[c] = weights[c].max(1e-300).ln()
-                        + log_gauss_diag(points.row(i), means.row(c), variances.row(c));
-                }
-                let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let mut sum = 0.0;
-                for lp in &mut logp {
-                    *lp = (*lp - mx).exp();
-                    sum += *lp;
-                }
-                ll += mx + sum.ln();
-                for c in 0..k {
-                    resp[(i, c)] = logp[c] / sum;
-                }
-            }
+            let mut point_ll = vec![0.0f64; n];
+            let chunk = par_point_chunk(n, k * d);
+            rgae_par::timed("gmm_estep", || {
+                let (weights, means, variances) = (&weights, &means, &variances);
+                rgae_par::par_zip_chunks_mut(
+                    resp.as_mut_slice(),
+                    chunk * k,
+                    &mut point_ll,
+                    chunk,
+                    |ci, resp_w, ll_w| {
+                        let i0 = ci * chunk;
+                        for (r, (resp_row, ll)) in
+                            resp_w.chunks_mut(k).zip(ll_w.iter_mut()).enumerate()
+                        {
+                            let i = i0 + r;
+                            let mut logp = vec![0.0; k];
+                            for c in 0..k {
+                                logp[c] = weights[c].max(1e-300).ln()
+                                    + log_gauss_diag(points.row(i), means.row(c), variances.row(c));
+                            }
+                            let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                            let mut sum = 0.0;
+                            for lp in &mut logp {
+                                *lp = (*lp - mx).exp();
+                                sum += *lp;
+                            }
+                            *ll = mx + sum.ln();
+                            for c in 0..k {
+                                resp_row[c] = logp[c] / sum;
+                            }
+                        }
+                    },
+                );
+            });
+            let ll: f64 = point_ll.iter().sum();
             let new_avg = ll / n as f64;
             let converged = (new_avg - avg_ll).abs() < 1e-7;
             avg_ll = new_avg;
 
-            // M step.
+            // M step: cluster-parallel. Each task owns one cluster's stats
+            // stripe `[mean(d) | var(d) | weight]`, scanning the points in
+            // ascending order exactly as the serial loop did.
             let nk: Vec<f64> = (0..k).map(|c| resp.col(c).iter().sum()).collect();
+            let mut stats = vec![0.0f64; k * (2 * d + 1)];
+            rgae_par::timed("gmm_mstep", || {
+                let (nk, resp) = (&nk, &resp);
+                rgae_par::par_chunks_mut(&mut stats, 2 * d + 1, |c, stripe| {
+                    let denom = nk[c].max(1e-12);
+                    let (mean, rest) = stripe.split_at_mut(d);
+                    let (var, weight) = rest.split_at_mut(d);
+                    weight[0] = nk[c] / n as f64;
+                    for i in 0..n {
+                        let r = resp[(i, c)];
+                        for (m, &p) in mean.iter_mut().zip(points.row(i)) {
+                            *m += r * p;
+                        }
+                    }
+                    for m in mean.iter_mut() {
+                        *m /= denom;
+                    }
+                    for i in 0..n {
+                        let r = resp[(i, c)];
+                        for (v, (&p, &m)) in var.iter_mut().zip(points.row(i).iter().zip(&*mean)) {
+                            *v += r * (p - m) * (p - m);
+                        }
+                    }
+                    for v in var.iter_mut() {
+                        *v = (*v / denom).max(VAR_FLOOR);
+                    }
+                });
+            });
             for c in 0..k {
-                let denom = nk[c].max(1e-12);
-                weights[c] = nk[c] / n as f64;
-                let mut mean = vec![0.0; d];
-                for i in 0..n {
-                    let r = resp[(i, c)];
-                    for (m, &p) in mean.iter_mut().zip(points.row(i)) {
-                        *m += r * p;
-                    }
-                }
-                for m in &mut mean {
-                    *m /= denom;
-                }
-                means.row_mut(c).copy_from_slice(&mean);
-                let mut var = vec![0.0; d];
-                for i in 0..n {
-                    let r = resp[(i, c)];
-                    for (v, (&p, &m)) in var.iter_mut().zip(points.row(i).iter().zip(&mean)) {
-                        *v += r * (p - m) * (p - m);
-                    }
-                }
-                for v in &mut var {
-                    *v = (*v / denom).max(VAR_FLOOR);
-                }
-                variances.row_mut(c).copy_from_slice(&var);
+                let stripe = &stats[c * (2 * d + 1)..(c + 1) * (2 * d + 1)];
+                means.row_mut(c).copy_from_slice(&stripe[..d]);
+                variances.row_mut(c).copy_from_slice(&stripe[d..2 * d]);
+                weights[c] = stripe[2 * d];
             }
             if converged {
                 break;
@@ -157,22 +187,30 @@ impl GaussianMixture {
         let n = points.rows();
         let k = self.k();
         let mut out = Mat::zeros(n, k);
-        for i in 0..n {
-            let mut logp = vec![0.0; k];
-            for c in 0..k {
-                logp[c] = self.weights[c].max(1e-300).ln()
-                    + log_gauss_diag(points.row(i), self.means.row(c), self.variances.row(c));
-            }
-            let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let mut sum = 0.0;
-            for lp in &mut logp {
-                *lp = (*lp - mx).exp();
-                sum += *lp;
-            }
-            for c in 0..k {
-                out[(i, c)] = logp[c] / sum;
-            }
+        if n == 0 {
+            return out;
         }
+        let chunk = par_point_chunk(n, k * points.cols());
+        rgae_par::par_chunks_mut(out.as_mut_slice(), chunk * k, |ci, w| {
+            let i0 = ci * chunk;
+            for (r, out_row) in w.chunks_mut(k).enumerate() {
+                let i = i0 + r;
+                let mut logp = vec![0.0; k];
+                for c in 0..k {
+                    logp[c] = self.weights[c].max(1e-300).ln()
+                        + log_gauss_diag(points.row(i), self.means.row(c), self.variances.row(c));
+                }
+                let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for lp in &mut logp {
+                    *lp = (*lp - mx).exp();
+                    sum += *lp;
+                }
+                for c in 0..k {
+                    out_row[c] = logp[c] / sum;
+                }
+            }
+        });
         out
     }
 

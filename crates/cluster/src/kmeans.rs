@@ -3,7 +3,7 @@
 use rgae_linalg::{Mat, Rng64};
 use rgae_obs::{span, Recorder, NOOP};
 
-use crate::{Error, Result};
+use crate::{par_point_chunk, Error, Result};
 
 /// Output of [`kmeans`].
 #[derive(Clone, Debug)]
@@ -52,12 +52,19 @@ pub fn kmeans_traced(
     centroids.row_mut(0).copy_from_slice(points.row(first));
     let mut min_sq = vec![f64::INFINITY; n];
     for c in 1..k {
-        for i in 0..n {
-            let dist = points.row_sq_dist(i, centroids.row(c - 1));
-            if dist < min_sq[i] {
-                min_sq[i] = dist;
+        // Per-point distance refresh is independent per element, so it can
+        // chunk freely; the RNG draw below stays serial and in order.
+        let chunk = par_point_chunk(n, d);
+        let prev = centroids.row(c - 1).to_vec();
+        rgae_par::par_chunks_mut(&mut min_sq, chunk, |ci, w| {
+            let i0 = ci * chunk;
+            for (r, m) in w.iter_mut().enumerate() {
+                let dist = points.row_sq_dist(i0 + r, &prev);
+                if dist < *m {
+                    *m = dist;
+                }
             }
-        }
+        });
         let next = rng.categorical(&min_sq);
         centroids.row_mut(c).copy_from_slice(points.row(next));
     }
@@ -67,23 +74,39 @@ pub fn kmeans_traced(
     let mut iterations = 0;
     for it in 0..max_iter {
         iterations = it + 1;
-        // Assignment step.
-        let mut changed = false;
-        for i in 0..n {
-            let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let dist = points.row_sq_dist(i, centroids.row(c));
-                if dist < best_d {
-                    best_d = dist;
-                    best = c;
-                }
-            }
-            if assignments[i] != best {
-                assignments[i] = best;
-                changed = true;
-            }
-        }
+        // Assignment step: per-point nearest centroid, point-parallel.
+        // Each task owns a stripe of `assignments` plus one change flag.
+        let chunk = par_point_chunk(n, k * d);
+        let n_chunks = n.div_ceil(chunk);
+        let mut chunk_changed = vec![0u8; n_chunks];
+        rgae_par::timed("kmeans_assign", || {
+            rgae_par::par_zip_chunks_mut(
+                &mut assignments,
+                chunk,
+                &mut chunk_changed,
+                1,
+                |ci, assign_w, flag| {
+                    let i0 = ci * chunk;
+                    for (r, a) in assign_w.iter_mut().enumerate() {
+                        let i = i0 + r;
+                        let mut best = 0;
+                        let mut best_d = f64::INFINITY;
+                        for c in 0..k {
+                            let dist = points.row_sq_dist(i, centroids.row(c));
+                            if dist < best_d {
+                                best_d = dist;
+                                best = c;
+                            }
+                        }
+                        if *a != best {
+                            *a = best;
+                            flag[0] = 1;
+                        }
+                    }
+                },
+            );
+        });
+        let changed = chunk_changed.iter().any(|&f| f != 0);
         if !changed && it > 0 {
             break;
         }
@@ -97,30 +120,59 @@ pub fn kmeans_traced(
                 *s += p;
             }
         }
+        // Empty-cluster re-seeding is decided *before* any centroid moves:
+        // the farthest-point ranking is computed once against the snapshot
+        // of assignments and centroids the assignment step produced, so the
+        // selection is independent of how that step was chunked (and of any
+        // previously re-seeded cluster in the same pass).
+        let empties: Vec<usize> = (0..k).filter(|&c| counts[c] == 0).collect();
+        let mut reseeds: Vec<(usize, usize)> = Vec::with_capacity(empties.len());
+        if !empties.is_empty() {
+            let far_chunk = par_point_chunk(n, d);
+            let mut far_dist = vec![0.0f64; n];
+            rgae_par::par_chunks_mut(&mut far_dist, far_chunk, |ci, w| {
+                let i0 = ci * far_chunk;
+                for (r, out) in w.iter_mut().enumerate() {
+                    let i = i0 + r;
+                    *out = points.row_sq_dist(i, centroids.row(assignments[i]));
+                }
+            });
+            let mut taken = vec![false; n];
+            for &c in &empties {
+                let mut far = 0;
+                let mut best = f64::NEG_INFINITY;
+                for i in 0..n {
+                    // `>=` keeps the last maximum, matching `max_by` ties.
+                    if !taken[i] && far_dist[i] >= best {
+                        best = far_dist[i];
+                        far = i;
+                    }
+                }
+                taken[far] = true;
+                reseeds.push((c, far));
+            }
+        }
         for c in 0..k {
-            if counts[c] == 0 {
-                // Re-seed from the point farthest from its centroid.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        let da = points.row_sq_dist(a, centroids.row(assignments[a]));
-                        let db = points.row_sq_dist(b, centroids.row(assignments[b]));
-                        da.partial_cmp(&db).expect("finite distances")
-                    })
-                    .expect("n >= 1");
-                centroids.row_mut(c).copy_from_slice(points.row(far));
-                assignments[far] = c;
-            } else {
+            if counts[c] > 0 {
                 let inv = 1.0 / counts[c] as f64;
                 for (ctr, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
                     *ctr = s * inv;
                 }
             }
         }
+        for &(c, far) in &reseeds {
+            centroids.row_mut(c).copy_from_slice(points.row(far));
+            assignments[far] = c;
+        }
     }
 
-    let inertia: f64 = (0..n)
-        .map(|i| points.row_sq_dist(i, centroids.row(assignments[i])))
-        .sum();
+    // Ordered reduction: fixed-width per-point partials folded in index
+    // order, identical at any thread count.
+    let inertia: f64 = rgae_par::par_sum_by(n, |range| {
+        range
+            .map(|i| points.row_sq_dist(i, centroids.row(assignments[i])))
+            .sum::<f64>()
+    });
     rec.count("kmeans_iterations", iterations as u64);
     if rec.enabled() {
         rec.gauge("kmeans_inertia", None, inertia);
@@ -209,6 +261,45 @@ mod tests {
             counts[a] += 1;
         }
         assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    /// Regression for the empty-cluster re-seed: the farthest-point draw is
+    /// taken from a snapshot *before* any centroid update, so the selection
+    /// cannot depend on how the assignment step was chunked. Running k=5 on
+    /// 3 blobs across many seeds exercises the re-seed path repeatedly; the
+    /// result must be bit-identical at every thread count.
+    #[test]
+    fn reseed_is_thread_count_invariant() {
+        for seed in 0..20 {
+            let mut rng = Rng64::seed_from_u64(seed);
+            let (x, _) = blobs(&mut rng);
+            let reference = rgae_par::with_threads(1, || {
+                let mut r = Rng64::seed_from_u64(seed + 100);
+                kmeans(&x, 5, 100, &mut r).unwrap()
+            });
+            let mut counts = vec![0usize; 5];
+            for &a in &reference.assignments {
+                counts[a] += 1;
+            }
+            assert!(counts.iter().all(|&c| c > 0), "empty cluster: {counts:?}");
+            for t in [2, 3, 8] {
+                let got = rgae_par::with_threads(t, || {
+                    let mut r = Rng64::seed_from_u64(seed + 100);
+                    kmeans(&x, 5, 100, &mut r).unwrap()
+                });
+                assert_eq!(got.assignments, reference.assignments, "threads={t}");
+                assert_eq!(
+                    got.centroids.as_slice(),
+                    reference.centroids.as_slice(),
+                    "threads={t}"
+                );
+                assert_eq!(
+                    got.inertia.to_bits(),
+                    reference.inertia.to_bits(),
+                    "threads={t}"
+                );
+            }
+        }
     }
 
     #[test]

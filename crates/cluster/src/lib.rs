@@ -55,3 +55,18 @@ impl std::error::Error for Error {}
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// Points per parallel task for a per-point kernel costing ~`point_cost`
+/// flops each. One task (inline execution) when the problem is too small to
+/// amortise pool dispatch. The choice never affects results: per-point
+/// outputs are independent and scalar reductions go through fixed-width
+/// ordered partials.
+pub(crate) fn par_point_chunk(n: usize, point_cost: usize) -> usize {
+    const MIN_PAR_WORK: usize = 16 * 1024;
+    let t = rgae_par::threads();
+    if t <= 1 || n.saturating_mul(point_cost.max(1)) < MIN_PAR_WORK {
+        n.max(1)
+    } else {
+        n.div_ceil(t * 4).max(1)
+    }
+}

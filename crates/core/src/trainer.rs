@@ -88,6 +88,11 @@ pub struct RConfig {
     /// Clustering-phase epochs at which to snapshot the embeddings and the
     /// current self-supervision graph (Figs. 4 and 10).
     pub snapshot_epochs: Vec<usize>,
+    /// Worker threads for the `rgae-par` kernels. `None` keeps the process
+    /// default (the `RGAE_THREADS` env var, else available parallelism);
+    /// `Some(1)` forces the exact serial path. Results are bit-identical at
+    /// any setting — this knob trades wall time only.
+    pub threads: Option<usize>,
 }
 
 impl Default for RConfig {
@@ -109,6 +114,7 @@ impl Default for RConfig {
             track_diagnostics: false,
             eval_every: 1,
             snapshot_epochs: Vec::new(),
+            threads: None,
         }
     }
 }
@@ -209,6 +215,10 @@ impl RConfig {
                         .map(|&e| Json::Int(e as i64))
                         .collect(),
                 ),
+            ),
+            (
+                "threads",
+                self.threads.map_or(Json::Null, |t| Json::Int(t as i64)),
             ),
         ])
     }
@@ -398,6 +408,7 @@ impl<'a> RTrainer<'a> {
         data: &TrainData,
         rng: &mut Rng64,
     ) -> Result<()> {
+        apply_thread_config(&self.cfg);
         let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
         {
             let _pretrain = span(self.rec, "pretrain");
@@ -433,6 +444,11 @@ impl<'a> RTrainer<'a> {
     ) -> Result<RReport> {
         let cfg = &self.cfg;
         let rec = self.rec;
+        apply_thread_config(cfg);
+        if rec.enabled() {
+            // Scope the kernel timing table to this run.
+            let _ = rgae_par::take_kernel_stats();
+        }
         let truth = graph.labels();
         let n = data.num_nodes;
         let all_nodes: Vec<usize> = (0..n).collect();
@@ -558,6 +574,7 @@ impl<'a> RTrainer<'a> {
                 final_nmi: final_metrics.nmi,
                 final_ari: final_metrics.ari,
             }));
+            flush_kernel_stats(rec);
         }
         Ok(RReport {
             pretrain_metrics,
@@ -647,6 +664,26 @@ impl<'a> RTrainer<'a> {
     }
 }
 
+/// Apply the run's thread override to the `rgae-par` pool (no-op when the
+/// config leaves the process default in place).
+fn apply_thread_config(cfg: &RConfig) {
+    if let Some(t) = cfg.threads {
+        rgae_par::set_threads(Some(t));
+    }
+}
+
+/// Drain the `rgae-par` per-kernel timing registry into the recorder:
+/// `par_<kernel>_calls` counters and `par_<kernel>_seconds` gauges, plus the
+/// effective `par_threads` count. Timings are inclusive — a kernel invoked
+/// from inside another timed kernel is charged to both.
+fn flush_kernel_stats(rec: &dyn Recorder) {
+    for (name, stat) in rgae_par::take_kernel_stats() {
+        rec.count(&format!("par_{name}_calls"), stat.calls);
+        rec.gauge(&format!("par_{name}_seconds"), None, stat.seconds);
+    }
+    rec.gauge("par_threads", None, rgae_par::threads() as f64);
+}
+
 /// Train the un-modified model 𝒟: pretraining, head initialisation, then
 /// `train_epochs` of its own joint loss against the static graph `A` (or
 /// pure reconstruction for first-group models). Diagnostics are recorded
@@ -671,6 +708,11 @@ pub fn train_plain_traced(
     rng: &mut Rng64,
     rec: &dyn Recorder,
 ) -> Result<PlainReport> {
+    apply_thread_config(cfg);
+    if rec.enabled() {
+        // Scope the kernel timing table to this run.
+        let _ = rgae_par::take_kernel_stats();
+    }
     let data = TrainData::from_graph(graph);
     let truth = graph.labels();
     let spec_pre = StepSpec::pretrain(Rc::clone(&data.adjacency));
@@ -779,6 +821,7 @@ pub fn train_plain_traced(
             final_nmi: final_metrics.nmi,
             final_ari: final_metrics.ari,
         }));
+        flush_kernel_stats(rec);
     }
     Ok(PlainReport {
         pretrain_metrics,

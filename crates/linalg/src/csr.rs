@@ -1,6 +1,24 @@
 //! Compressed-sparse-row matrices for graph adjacencies and filters.
+//!
+//! The spMM kernels run on the `rgae-par` pool with bit-for-bit determinism:
+//! `spmm` is row-parallel (disjoint output rows, unchanged accumulation
+//! order), `t_spmm` uses an ownership partition over output rows so the
+//! serial scatter order is preserved without cross-task writes.
 
 use crate::{Error, Mat, Result};
+
+/// Output rows per parallel task for a kernel costing ~`total_work` flops
+/// over `out_rows` disjoint output rows. One task (inline execution) when
+/// too small to amortise pool dispatch; never affects results.
+fn par_row_chunk(out_rows: usize, total_work: usize) -> usize {
+    const MIN_PAR_WORK: usize = 16 * 1024;
+    let t = rgae_par::threads();
+    if t <= 1 || total_work < MIN_PAR_WORK {
+        out_rows.max(1)
+    } else {
+        out_rows.div_ceil(t * 4).max(1)
+    }
+}
 
 /// A `(row, col, value)` entry used to build a [`Csr`].
 pub type Triplet = (usize, usize, f64);
@@ -170,15 +188,24 @@ impl Csr {
             });
         }
         let mut out = Mat::zeros(self.rows, rhs.cols());
-        for i in 0..self.rows {
-            for (j, v) in self.row_iter(i) {
-                let b_row = rhs.row(j);
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += v * b;
-                }
-            }
+        let cols = rhs.cols();
+        if cols == 0 || self.rows == 0 {
+            return Ok(out);
         }
+        rgae_par::timed("csr_spmm", || {
+            let chunk_rows = par_row_chunk(self.rows, self.nnz() * cols);
+            rgae_par::par_chunks_mut(out.as_mut_slice(), chunk_rows * cols, |ci, chunk| {
+                let i0 = ci * chunk_rows;
+                for (r, o_row) in chunk.chunks_mut(cols).enumerate() {
+                    for (j, v) in self.row_iter(i0 + r) {
+                        let b_row = rhs.row(j);
+                        for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                            *o += v * b;
+                        }
+                    }
+                }
+            });
+        });
         Ok(out)
     }
 
@@ -192,15 +219,34 @@ impl Csr {
             });
         }
         let mut out = Mat::zeros(self.cols, rhs.cols());
-        for i in 0..self.rows {
-            let b_row = rhs.row(i);
-            for (j, v) in self.row_iter(i) {
-                let o_row = out.row_mut(j);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += v * b;
-                }
-            }
+        let cols = rhs.cols();
+        if cols == 0 || self.cols == 0 {
+            return Ok(out);
         }
+        // Ownership partition: each task owns a stripe of *output* rows `j`
+        // and scans every input row `i` in ascending order, accumulating only
+        // the entries whose column falls in its stripe. The per-element add
+        // order is exactly the serial scatter loop's, and no two tasks touch
+        // the same output row.
+        rgae_par::timed("csr_t_spmm", || {
+            let chunk_rows = par_row_chunk(self.cols, self.nnz() * cols);
+            rgae_par::par_chunks_mut(out.as_mut_slice(), chunk_rows * cols, |ci, chunk| {
+                let j0 = ci * chunk_rows;
+                let j1 = (j0 + chunk_rows).min(self.cols);
+                for i in 0..self.rows {
+                    let b_row = rhs.row(i);
+                    for (j, v) in self.row_iter(i) {
+                        if j < j0 || j >= j1 {
+                            continue;
+                        }
+                        let o_row = &mut chunk[(j - j0) * cols..(j - j0 + 1) * cols];
+                        for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                            *o += v * b;
+                        }
+                    }
+                }
+            });
+        });
         Ok(out)
     }
 

@@ -1,6 +1,30 @@
 //! Dense row-major matrix and its kernels.
+//!
+//! The hot kernels (matmul variants, Gram, element-wise maps, pairwise
+//! distances) run on the `rgae-par` pool. Every parallel kernel keeps the
+//! per-element floating-point operation order of the serial loop and writes
+//! disjoint output stripes, so results are bit-for-bit identical at any
+//! thread count (see `rgae-par`'s crate docs for the determinism rules).
 
 use crate::{Error, Result};
+
+/// Work (in rough flops) below which a kernel runs as a single inline task;
+/// pool dispatch costs more than it saves on matrices this small.
+const MIN_PAR_WORK: usize = 16 * 1024;
+
+/// Rows per parallel task for a kernel whose per-row cost is ~`row_cost`
+/// flops. Returns the whole matrix (one task → inline execution) when the
+/// kernel is too small to amortise dispatch, otherwise ~4 chunks per thread
+/// so the atomic work counter load-balances ragged rows. The choice never
+/// affects results — only which thread computes which rows.
+fn par_row_chunk(rows: usize, row_cost: usize) -> usize {
+    let t = rgae_par::threads();
+    if t <= 1 || rows.saturating_mul(row_cost.max(1)) < MIN_PAR_WORK {
+        rows.max(1)
+    } else {
+        rows.div_ceil(t * 4).max(1)
+    }
+}
 
 /// A dense, row-major `f64` matrix.
 ///
@@ -157,11 +181,20 @@ impl Mat {
     /// Matrix transpose.
     pub fn transpose(&self) -> Mat {
         let mut out = Mat::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
-            }
+        if self.rows == 0 || self.cols == 0 {
+            return out;
         }
+        let (rows, cols) = (self.rows, self.cols);
+        let chunk_rows = par_row_chunk(cols, rows);
+        rgae_par::par_chunks_mut(&mut out.data, chunk_rows * rows, |ci, chunk| {
+            let j0 = ci * chunk_rows;
+            for (r, o_row) in chunk.chunks_mut(rows).enumerate() {
+                let j = j0 + r;
+                for (i, o) in o_row.iter_mut().enumerate() {
+                    *o = self.data[i * cols + j];
+                }
+            }
+        });
         out
     }
 
@@ -178,19 +211,28 @@ impl Mat {
             });
         }
         let mut out = Mat::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
+        let cols = rhs.cols;
+        if cols == 0 || self.rows == 0 {
+            return Ok(out);
         }
+        rgae_par::timed("mat_matmul", || {
+            let chunk_rows = par_row_chunk(self.rows, self.cols * cols);
+            rgae_par::par_chunks_mut(&mut out.data, chunk_rows * cols, |ci, chunk| {
+                let i0 = ci * chunk_rows;
+                for (r, o_row) in chunk.chunks_mut(cols).enumerate() {
+                    let a_row = self.row(i0 + r);
+                    for (k, &a_ik) in a_row.iter().enumerate() {
+                        if a_ik == 0.0 {
+                            continue;
+                        }
+                        let b_row = rhs.row(k);
+                        for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                            *o += a_ik * b;
+                        }
+                    }
+                }
+            });
+        });
         Ok(out)
     }
 
@@ -204,17 +246,27 @@ impl Mat {
             });
         }
         let mut out = Mat::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
+        let cols = rhs.rows;
+        if cols == 0 || self.rows == 0 {
+            return Ok(out);
         }
+        rgae_par::timed("mat_matmul_t", || {
+            let chunk_rows = par_row_chunk(self.rows, cols * self.cols);
+            rgae_par::par_chunks_mut(&mut out.data, chunk_rows * cols, |ci, chunk| {
+                let i0 = ci * chunk_rows;
+                for (r, o_row) in chunk.chunks_mut(cols).enumerate() {
+                    let a_row = self.row(i0 + r);
+                    for (j, o) in o_row.iter_mut().enumerate() {
+                        let b_row = rhs.row(j);
+                        let mut acc = 0.0;
+                        for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
+                }
+            });
+        });
         Ok(out)
     }
 
@@ -228,19 +280,33 @@ impl Mat {
             });
         }
         let mut out = Mat::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        let cols = rhs.cols;
+        if cols == 0 || self.cols == 0 {
+            return Ok(out);
         }
+        // Gather formulation: each task owns a stripe of *output* rows `i`
+        // and scans the shared dimension `k` in ascending order, so every
+        // element accumulates in exactly the order of the serial scatter
+        // loop, with no cross-task writes.
+        rgae_par::timed("mat_t_matmul", || {
+            let chunk_rows = par_row_chunk(self.cols, self.rows * cols);
+            rgae_par::par_chunks_mut(&mut out.data, chunk_rows * cols, |ci, chunk| {
+                let i0 = ci * chunk_rows;
+                for k in 0..self.rows {
+                    let a_row = self.row(k);
+                    let b_row = rhs.row(k);
+                    for (r, o_row) in chunk.chunks_mut(cols).enumerate() {
+                        let a = a_row[i0 + r];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            });
+        });
         Ok(out)
     }
 
@@ -250,23 +316,62 @@ impl Mat {
     pub fn gram(&self) -> Mat {
         let n = self.rows;
         let mut out = Mat::zeros(n, n);
-        for i in 0..n {
-            let zi = self.row(i);
-            for j in i..n {
-                let zj = self.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in zi.iter().zip(zj.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-                out[(j, i)] = acc;
-            }
+        if n == 0 {
+            return out;
         }
+        rgae_par::timed("mat_gram", || {
+            let chunk_rows = par_row_chunk(n, n * self.cols / 2 + 1);
+            // Pass 1: upper triangle, row-parallel (row i computes j ≥ i).
+            rgae_par::par_chunks_mut(&mut out.data, chunk_rows * n, |ci, chunk| {
+                let i0 = ci * chunk_rows;
+                for (r, o_row) in chunk.chunks_mut(n).enumerate() {
+                    let i = i0 + r;
+                    let zi = self.row(i);
+                    for (j, o) in o_row.iter_mut().enumerate().skip(i) {
+                        let zj = self.row(j);
+                        let mut acc = 0.0;
+                        for (&a, &b) in zi.iter().zip(zj.iter()) {
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
+                }
+            });
+            // Pass 2: mirror the strict lower triangle from the upper. Reads
+            // hit only upper entries, writes only strict-lower — disjoint
+            // element sets, expressed through a RawMut view since the ranges
+            // interleave inside every row.
+            let n_chunks = n.div_ceil(chunk_rows);
+            let view = rgae_par::RawMut::new(&mut out.data);
+            rgae_par::run(n_chunks, &|ci| {
+                let i0 = ci * chunk_rows;
+                let i1 = (i0 + chunk_rows).min(n);
+                for i in i0..i1 {
+                    for j in 0..i {
+                        // SAFETY: (i, j) is strict-lower and written by this
+                        // task only; (j, i) is upper and never written in
+                        // this pass.
+                        unsafe { view.write(i * n + j, view.read(j * n + i)) };
+                    }
+                }
+            });
+        });
         out
     }
 
+    /// Elements per parallel task for an element-wise kernel over `len`
+    /// entries (whole buffer → inline when too small to amortise dispatch).
+    fn elem_chunk(len: usize) -> usize {
+        let t = rgae_par::threads();
+        if t <= 1 || len < MIN_PAR_WORK {
+            len.max(1)
+        } else {
+            len.div_ceil(t * 4).max(1)
+        }
+    }
+
     /// Elementwise binary map into a new matrix.
-    pub fn zip_map(&self, rhs: &Mat, f: impl Fn(f64, f64) -> f64) -> Result<Mat> {
+    pub fn zip_map(&self, rhs: &Mat, f: impl Fn(f64, f64) -> f64 + Sync) -> Result<Mat> {
         if self.shape() != rhs.shape() {
             return Err(Error::ShapeMismatch {
                 op: "zip_map",
@@ -274,26 +379,28 @@ impl Mat {
                 rhs: rhs.shape(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Ok(Mat {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        })
+        let mut out = Mat::zeros(self.rows, self.cols);
+        let chunk = Self::elem_chunk(out.data.len());
+        rgae_par::par_chunks_mut(&mut out.data, chunk, |ci, w| {
+            let start = ci * chunk;
+            for (k, o) in w.iter_mut().enumerate() {
+                *o = f(self.data[start + k], rhs.data[start + k]);
+            }
+        });
+        Ok(out)
     }
 
     /// Elementwise unary map into a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Mat {
-        Mat {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&a| f(a)).collect(),
-        }
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Mat {
+        let mut out = Mat::zeros(self.rows, self.cols);
+        let chunk = Self::elem_chunk(out.data.len());
+        rgae_par::par_chunks_mut(&mut out.data, chunk, |ci, w| {
+            let start = ci * chunk;
+            for (k, o) in w.iter_mut().enumerate() {
+                *o = f(self.data[start + k]);
+            }
+        });
+        out
     }
 
     /// Elementwise sum.
@@ -456,11 +563,22 @@ impl Mat {
             });
         }
         let mut out = Mat::zeros(self.rows, centers.rows);
-        for i in 0..self.rows {
-            for c in 0..centers.rows {
-                out[(i, c)] = self.row_sq_dist(i, centers.row(c));
-            }
+        let k = centers.rows;
+        if k == 0 || self.rows == 0 {
+            return Ok(out);
         }
+        rgae_par::timed("mat_pairwise_sq_dists", || {
+            let chunk_rows = par_row_chunk(self.rows, k * self.cols);
+            rgae_par::par_chunks_mut(&mut out.data, chunk_rows * k, |ci, chunk| {
+                let i0 = ci * chunk_rows;
+                for (r, o_row) in chunk.chunks_mut(k).enumerate() {
+                    let i = i0 + r;
+                    for (c, o) in o_row.iter_mut().enumerate() {
+                        *o = self.row_sq_dist(i, centers.row(c));
+                    }
+                }
+            });
+        });
         Ok(out)
     }
 

@@ -1,0 +1,541 @@
+//! `rgae-par`: a deterministic parallel compute layer for the training hot
+//! paths.
+//!
+//! The crate is a small scoped thread pool with no external dependencies
+//! (the workspace builds offline). Its contract is stronger than "parallel
+//! and fast": **every kernel built on it is bit-for-bit identical to serial
+//! execution at any thread count**. Two rules make that hold:
+//!
+//! 1. *Disjoint writes, unchanged per-element order.* Row- and chunk-parallel
+//!    kernels ([`par_chunks_mut`], [`par_zip_chunks_mut`]) give each task an
+//!    exclusive `&mut` window of the output and keep the floating-point
+//!    operation order of each element exactly as the serial loop had it. The
+//!    chunk decomposition can then vary freely with the thread count without
+//!    moving a single rounding step.
+//! 2. *Ordered reduction.* Scalar folds ([`par_sum_by`]) are restructured
+//!    into fixed per-chunk partials — the chunk size is a function of the
+//!    problem size only, never of the thread count — and the partials are
+//!    folded serially in chunk order. FP addition is not associative, so a
+//!    single shared accumulator can never be parallelised bit-identically;
+//!    fixed partials can.
+//!
+//! Thread count resolution order: [`with_threads`] (scoped override, used by
+//! the differential tests) > [`set_threads`] > the `RGAE_THREADS` environment
+//! variable > `std::thread::available_parallelism()`. A count of 1 runs every
+//! kernel inline on the calling thread — the exact serial path, no pool
+//! involvement.
+//!
+//! Per-kernel wall time is accumulated in [`stats`] and flushed into the
+//! `rgae-obs` recorder by the trainer.
+
+mod pool;
+pub mod stats;
+
+pub use stats::{kernel_stats, take_kernel_stats, timed, KernelStat};
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// 0 = not yet resolved (consult env / available_parallelism on first use).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Serialises [`with_threads`] scopes so concurrently running tests cannot
+/// observe each other's temporary overrides.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// Set while the current thread is executing inside a parallel region;
+    /// nested `run`/`par_join` calls then execute inline to avoid pool
+    /// deadlock (and to keep the work partition well-defined).
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn enter_parallel_region() {
+    IN_PARALLEL.with(|f| f.set(true));
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RGAE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The thread count kernels will use right now.
+pub fn threads() -> usize {
+    let cur = CONFIGURED.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let resolved = default_threads();
+    // Racing initialisers resolve to the same value, so a plain store is fine.
+    CONFIGURED.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Set the global thread count. `None` re-resolves from `RGAE_THREADS` /
+/// available parallelism on the next [`threads`] call.
+pub fn set_threads(n: Option<usize>) {
+    CONFIGURED.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// Run `f` with the thread count pinned to `n`, restoring the previous
+/// configuration afterwards. Scopes are serialised process-wide so parallel
+/// test runners cannot interleave overrides.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = CONFIGURED.swap(n.max(1), Ordering::Relaxed);
+    let out = f();
+    CONFIGURED.store(prev, Ordering::Relaxed);
+    drop(guard);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Core primitive: run N indexed tasks across the pool
+// ---------------------------------------------------------------------------
+
+/// Raw task pointer with the borrow lifetime erased. Soundness: [`run`] does
+/// not return until every worker that could dereference it has finished.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct Batch {
+    task: TaskPtr,
+    next: AtomicUsize,
+    n_tasks: usize,
+    /// Helpers that have not yet finished draining the index range.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    /// Claim indices from the shared counter until the range is drained.
+    fn work(&self) {
+        let task = unsafe { &*self.task.0 };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn helper_finished(&self) {
+        let mut rem = self.remaining.lock().expect("batch latch lock");
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Execute `task(0..n_tasks)` across the configured threads.
+///
+/// Indices are claimed from a shared atomic counter (dynamic load balance),
+/// which is safe for determinism because tasks write disjoint state: *which
+/// thread* runs index `i` can vary, *what* index `i` computes cannot. With
+/// one configured thread, inside an existing parallel region, or for a
+/// single task, the loop runs inline — the exact serial path.
+pub fn run(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let t = threads();
+    if t <= 1 || n_tasks == 1 || IN_PARALLEL.with(|f| f.get()) {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+
+    let helpers = (t - 1).min(n_tasks - 1);
+    let erased: *const (dyn Fn(usize) + Sync) = task;
+    // Erase the borrow lifetime; the wait on `remaining == 0` below restores
+    // the scoped guarantee before `task` can go out of scope.
+    let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(erased) };
+    let batch = Arc::new(Batch {
+        task: TaskPtr(erased),
+        next: AtomicUsize::new(0),
+        n_tasks,
+        remaining: Mutex::new(helpers),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+
+    let pool = pool::pool();
+    pool.ensure_workers(helpers);
+    for _ in 0..helpers {
+        let b = Arc::clone(&batch);
+        pool.submit(Box::new(move || {
+            b.work();
+            b.helper_finished();
+        }));
+    }
+
+    // The caller participates instead of blocking idle.
+    IN_PARALLEL.with(|f| f.set(true));
+    batch.work();
+    IN_PARALLEL.with(|f| f.set(false));
+
+    let mut rem = batch.remaining.lock().expect("batch latch lock");
+    while *rem > 0 {
+        rem = batch.done.wait(rem).expect("batch latch wait");
+    }
+    drop(rem);
+    if batch.panicked.load(Ordering::Relaxed) {
+        panic!("rgae-par: a parallel task panicked");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked views over output buffers
+// ---------------------------------------------------------------------------
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor so closures capture the whole `SendPtr` (which is `Sync`)
+    /// rather than the raw pointer field (which is not).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Split `data` into consecutive windows of `chunk_len` elements (the last
+/// may be shorter) and run `f(chunk_index, window)` for each, in parallel.
+/// Windows are disjoint, so each task has exclusive `&mut` access.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    let len = data.len();
+    let n_chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    run(n_chunks, &|i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // Disjoint by construction: chunk i covers [i*chunk_len, (i+1)*chunk_len).
+        let window = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(i, window);
+    });
+}
+
+/// Like [`par_chunks_mut`] over two buffers at once: chunk `i` of `a`
+/// (windows of `a_chunk`) is processed together with chunk `i` of `b`
+/// (windows of `b_chunk`). Both slices must decompose into the same number
+/// of chunks. Used where a kernel produces two outputs per stripe, e.g.
+/// k-means assignments plus per-chunk change flags.
+pub fn par_zip_chunks_mut<A: Send, B: Send>(
+    a: &mut [A],
+    a_chunk: usize,
+    b: &mut [B],
+    b_chunk: usize,
+    f: impl Fn(usize, &mut [A], &mut [B]) + Sync,
+) {
+    if a.is_empty() && b.is_empty() {
+        return;
+    }
+    assert!(a_chunk > 0 && b_chunk > 0, "par_zip_chunks_mut: zero chunk");
+    let (a_len, b_len) = (a.len(), b.len());
+    let n_chunks = a_len.div_ceil(a_chunk);
+    assert_eq!(
+        n_chunks,
+        b_len.div_ceil(b_chunk),
+        "par_zip_chunks_mut: chunk counts differ"
+    );
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    run(n_chunks, &|i| {
+        let (sa, ea) = (i * a_chunk, ((i + 1) * a_chunk).min(a_len));
+        let (sb, eb) = (i * b_chunk, ((i + 1) * b_chunk).min(b_len));
+        let wa = unsafe { std::slice::from_raw_parts_mut(pa.get().add(sa), ea - sa) };
+        let wb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(sb), eb - sb) };
+        f(i, wa, wb);
+    });
+}
+
+/// A shared mutable view for kernels whose element-level read and write sets
+/// are disjoint but interleave within every slice window — e.g. mirroring the
+/// lower triangle of a Gram matrix from the upper, or scattering per-cluster
+/// GMM statistics. All access goes through raw pointers, so no `&`/`&mut`
+/// reference to the buffer exists while tasks run; disjointness is the
+/// caller's obligation *per element* rather than per range.
+pub struct RawMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send + Sync> Send for RawMut<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for RawMut<'_, T> {}
+
+impl<'a, T: Send + Sync> RawMut<'a, T> {
+    /// Take exclusive ownership of `data` for the view's lifetime.
+    pub fn new(data: &'a mut [T]) -> Self {
+        RawMut {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements in the underlying buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No task may be writing element `i` concurrently.
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// No other task may read or write element `i` concurrently.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered reduction
+// ---------------------------------------------------------------------------
+
+/// Chunk width used by [`par_sum_by`] reductions. Fixed — *never* derived
+/// from the thread count — so the partial-sum tree is identical no matter
+/// how many threads fold it.
+pub const REDUCE_CHUNK: usize = 256;
+
+/// Deterministic parallel sum: `f(range)` computes the serial partial sum of
+/// one fixed-width chunk of `[0, n_items)`; the partials are then folded
+/// serially in chunk order. Bit-identical at any thread count because the
+/// decomposition depends only on `n_items`.
+pub fn par_sum_by(n_items: usize, f: impl Fn(std::ops::Range<usize>) -> f64 + Sync) -> f64 {
+    if n_items == 0 {
+        return 0.0;
+    }
+    let n_chunks = n_items.div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f64; n_chunks];
+    par_chunks_mut(&mut partials, 1, |i, slot| {
+        let start = i * REDUCE_CHUNK;
+        let end = (start + REDUCE_CHUNK).min(n_items);
+        slot[0] = f(start..end);
+    });
+    partials.iter().sum()
+}
+
+// ---------------------------------------------------------------------------
+// Fork-join for two heterogeneous closures
+// ---------------------------------------------------------------------------
+
+/// Run `a` and `b` concurrently, returning both results. `b` executes on a
+/// pool worker (inside a parallel region, so its nested kernels run inline)
+/// while `a` runs on the calling thread with full access to the pool.
+/// Falls back to sequential `(a(), b())` with one thread or when already
+/// inside a parallel region — same results either way, since the closures
+/// touch disjoint state.
+pub fn par_join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if threads() <= 1 || IN_PARALLEL.with(|f| f.get()) {
+        return (a(), b());
+    }
+
+    struct JoinSlot<T> {
+        result: Mutex<Option<std::thread::Result<T>>>,
+        done: Condvar,
+    }
+
+    let slot = Arc::new(JoinSlot::<RB> {
+        result: Mutex::new(None),
+        done: Condvar::new(),
+    });
+
+    let pool = pool::pool();
+    pool.ensure_workers(1);
+    {
+        let slot = Arc::clone(&slot);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(b));
+            let mut guard = slot.result.lock().expect("join slot lock");
+            *guard = Some(out);
+            slot.done.notify_all();
+        });
+        // Lifetime erasure; the wait below keeps the borrow alive long enough.
+        let job: pool::Job = unsafe { std::mem::transmute(job) };
+        pool.submit(job);
+    }
+
+    let ra = a();
+
+    let mut guard = slot.result.lock().expect("join slot lock");
+    while guard.is_none() {
+        guard = slot.done.wait(guard).expect("join slot wait");
+    }
+    match guard.take().expect("join slot filled") {
+        Ok(rb) => (ra, rb),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_covers_every_index_once() {
+        with_threads(4, || {
+            let n = 1037;
+            let mut hits = vec![0u8; n];
+            par_chunks_mut(&mut hits, 1, |_, w| {
+                for h in w.iter_mut() {
+                    *h += 1;
+                }
+            });
+            assert!(hits.iter().all(|&h| h == 1));
+        });
+    }
+
+    #[test]
+    fn chunks_are_ragged_safe() {
+        for t in [1, 2, 3, 8] {
+            with_threads(t, || {
+                let mut v: Vec<usize> = vec![0; 10];
+                par_chunks_mut(&mut v, 3, |i, w| {
+                    for (j, x) in w.iter_mut().enumerate() {
+                        *x = i * 3 + j;
+                    }
+                });
+                assert_eq!(v, (0..10).collect::<Vec<_>>());
+            });
+        }
+    }
+
+    #[test]
+    fn par_sum_matches_serial_fold_bitwise() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+        let reference = with_threads(1, || {
+            par_sum_by(data.len(), |r| r.map(|i| data[i]).sum::<f64>())
+        });
+        for t in [2, 3, 8] {
+            let got = with_threads(t, || {
+                par_sum_by(data.len(), |r| r.map(|i| data[i]).sum::<f64>())
+            });
+            assert_eq!(got.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn par_join_returns_both() {
+        with_threads(4, || {
+            let xs: Vec<u64> = (0..100).collect();
+            let (a, b) = par_join(|| xs.iter().sum::<u64>(), || xs.iter().max().copied());
+            assert_eq!(a, 4950);
+            assert_eq!(b, Some(99));
+        });
+    }
+
+    #[test]
+    fn zip_chunks_write_disjoint_pairs() {
+        with_threads(3, || {
+            let mut vals = vec![0usize; 11];
+            let mut flags = vec![0u8; 11usize.div_ceil(4)];
+            par_zip_chunks_mut(&mut vals, 4, &mut flags, 1, |i, w, fl| {
+                for x in w.iter_mut() {
+                    *x = i;
+                }
+                fl[0] = 1;
+            });
+            assert_eq!(vals, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2]);
+            assert!(flags.iter().all(|&f| f == 1));
+        });
+    }
+
+    #[test]
+    fn nested_run_executes_inline() {
+        with_threads(4, || {
+            let mut outer = vec![0u32; 16];
+            par_chunks_mut(&mut outer, 4, |_, w| {
+                // A nested parallel call must not deadlock or misbehave.
+                let mut inner = vec![1u32; 8];
+                par_chunks_mut(&mut inner, 2, |_, iw| {
+                    for x in iw.iter_mut() {
+                        *x += 1;
+                    }
+                });
+                let s: u32 = inner.iter().sum();
+                for x in w.iter_mut() {
+                    *x = s;
+                }
+            });
+            assert!(outer.iter().all(|&x| x == 16));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel task panicked")]
+    fn panics_propagate() {
+        with_threads(4, || {
+            run(64, &|i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn timed_accumulates() {
+        let before: u64 = kernel_stats()
+            .iter()
+            .find(|(k, _)| *k == "unit_test_kernel")
+            .map(|(_, s)| s.calls)
+            .unwrap_or(0);
+        timed("unit_test_kernel", || std::hint::black_box(1 + 1));
+        let after = kernel_stats()
+            .iter()
+            .find(|(k, _)| *k == "unit_test_kernel")
+            .map(|(_, s)| s.calls)
+            .unwrap_or(0);
+        assert_eq!(after, before + 1);
+    }
+}

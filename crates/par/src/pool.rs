@@ -1,0 +1,76 @@
+//! The worker pool behind [`crate::run`].
+//!
+//! A single process-global pool of parked worker threads. Workers are spawned
+//! lazily (the first batch that needs `n` helpers grows the pool to `n`) and
+//! never exit; they park on a condvar until a job arrives. Jobs are boxed
+//! closures whose lifetimes have been erased by the caller — soundness is the
+//! caller's obligation and is discharged in [`crate::run`] / [`crate::par_join`]
+//! by blocking until every submitted job has finished before returning.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+pub(crate) fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Grow the pool so at least `needed` workers exist.
+    pub(crate) fn ensure_workers(&self, needed: usize) {
+        let mut n = self.spawned.lock().expect("pool spawn lock");
+        while *n < needed {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("rgae-par-{}", *n))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn rgae-par worker");
+            *n += 1;
+        }
+    }
+
+    pub(crate) fn submit(&self, job: Job) {
+        let mut q = self.shared.queue.lock().expect("pool queue lock");
+        q.push_back(job);
+        drop(q);
+        self.shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Everything a worker runs counts as "inside a parallel region": nested
+    // `run` calls from within a job must execute inline or the pool could
+    // deadlock waiting on itself.
+    crate::enter_parallel_region();
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.available.wait(q).expect("pool queue wait");
+            }
+        };
+        job();
+    }
+}

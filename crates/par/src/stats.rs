@@ -1,0 +1,52 @@
+//! Per-kernel timing registry.
+//!
+//! Hot-path kernels wrap their body in [`timed`], which accumulates call
+//! counts and wall seconds into a process-global table keyed by a static
+//! kernel name. The trainer snapshots the table at the end of a run and
+//! flushes it into the `rgae-obs` recorder, so per-kernel time shows up in
+//! trace logs next to the span timings without `rgae-par` depending on the
+//! observability crate.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One kernel's accumulated totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelStat {
+    /// Times the kernel ran since the last [`take_kernel_stats`].
+    pub calls: u64,
+    /// Total wall-clock seconds spent inside the kernel.
+    pub seconds: f64,
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, KernelStat>> = Mutex::new(BTreeMap::new());
+
+/// Run `f`, charging its wall time to kernel `name`.
+pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    let mut reg = REGISTRY.lock().expect("kernel stats lock");
+    let entry = reg.entry(name).or_insert(KernelStat {
+        calls: 0,
+        seconds: 0.0,
+    });
+    entry.calls += 1;
+    entry.seconds += secs;
+    out
+}
+
+/// Snapshot the registry without resetting it, sorted by kernel name.
+pub fn kernel_stats() -> Vec<(&'static str, KernelStat)> {
+    let reg = REGISTRY.lock().expect("kernel stats lock");
+    reg.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+/// Snapshot the registry and reset all totals to zero.
+pub fn take_kernel_stats() -> Vec<(&'static str, KernelStat)> {
+    let mut reg = REGISTRY.lock().expect("kernel stats lock");
+    let out = reg.iter().map(|(&k, &v)| (k, v)).collect();
+    reg.clear();
+    out
+}

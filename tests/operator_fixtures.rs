@@ -1,0 +1,183 @@
+//! Golden-fixture tests for the paper's two operators: Ξ (sampling) and
+//! Υ (graph transformation).
+//!
+//! The fixture under `tests/fixtures/` holds a small hand-checked scene —
+//! soft assignments, embeddings, and an edge list — together with the exact
+//! expected outputs: the decidable set Ω, the λ¹/λ² confidence scores, the
+//! centroid-node list Π, and the edited edge list. Everything integral is
+//! compared exactly; the λ scores are copies of input entries, so they are
+//! compared bitwise too. Any behavioural drift in either operator (tie
+//! breaking, scan order, edit bookkeeping) trips these tests.
+
+use rgae_core::{upsilon, xi, UpsilonConfig, XiConfig};
+use rgae_linalg::{Csr, Mat};
+use rgae_obs::Json;
+
+fn fixture() -> Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/xi_upsilon_golden.json"
+    );
+    let text = std::fs::read_to_string(path).expect("fixture file readable");
+    Json::parse(&text).expect("fixture is valid JSON")
+}
+
+fn mat_field(j: &Json, key: &str) -> Mat {
+    let rows: Vec<Vec<f64>> = j
+        .get(key)
+        .and_then(Json::as_arr)
+        .expect("matrix field")
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .expect("matrix row")
+                .iter()
+                .map(|v| v.as_f64().expect("matrix entry"))
+                .collect()
+        })
+        .collect();
+    Mat::from_rows(&rows).expect("rectangular matrix")
+}
+
+fn usize_list(j: &Json) -> Vec<usize> {
+    j.as_arr()
+        .expect("index list")
+        .iter()
+        .map(|v| v.as_usize().expect("index"))
+        .collect()
+}
+
+fn f64_list(j: &Json) -> Vec<f64> {
+    j.as_arr()
+        .expect("float list")
+        .iter()
+        .map(|v| v.as_f64().expect("float"))
+        .collect()
+}
+
+fn edge_list(j: &Json) -> Vec<(usize, usize)> {
+    j.as_arr()
+        .expect("edge list")
+        .iter()
+        .map(|e| {
+            let pair = usize_list(e);
+            assert_eq!(pair.len(), 2, "edge has two endpoints");
+            (pair[0], pair[1])
+        })
+        .collect()
+}
+
+/// Undirected upper-triangle edge list of a symmetric CSR, ascending.
+fn graph_edges(g: &Csr) -> Vec<(usize, usize)> {
+    g.iter()
+        .filter(|&(i, j, _)| i < j)
+        .map(|(i, j, _)| (i, j))
+        .collect()
+}
+
+fn inputs(fx: &Json) -> (Csr, Mat, Mat) {
+    let n = fx.get("n").and_then(Json::as_usize).expect("n");
+    let a = Csr::adjacency_from_edges(n, &edge_list(fx.get("edges").expect("edges")))
+        .expect("valid edges");
+    (a, mat_field(fx, "p_soft"), mat_field(fx, "z"))
+}
+
+#[test]
+fn xi_matches_golden_fixture_exactly() {
+    let fx = fixture();
+    let (_, p_soft, _) = inputs(&fx);
+    let alpha1 = fx.get("alpha1").and_then(Json::as_f64).expect("alpha1");
+    let alpha2 = fx.get("alpha2").and_then(Json::as_f64).expect("alpha2");
+    let cfg = XiConfig::new(alpha1);
+    assert_eq!(
+        cfg.alpha2.to_bits(),
+        alpha2.to_bits(),
+        "paper parameterisation α₂ = α₁/2"
+    );
+
+    let omega = xi(&p_soft, &cfg).expect("xi applies");
+    let want = fx.get("expected_xi").expect("expected_xi");
+    assert_eq!(omega.indices, usize_list(want.get("omega").expect("omega")));
+
+    // λ scores are copies of input entries → exact bit equality is fair.
+    let want_l1 = f64_list(want.get("lambda1").expect("lambda1"));
+    let want_l2 = f64_list(want.get("lambda2").expect("lambda2"));
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&omega.lambda1), bits(&want_l1), "lambda1");
+    assert_eq!(bits(&omega.lambda2), bits(&want_l2), "lambda2");
+}
+
+#[test]
+fn upsilon_matches_golden_fixture_exactly() {
+    let fx = fixture();
+    let (a, p_soft, z) = inputs(&fx);
+    let alpha1 = fx.get("alpha1").and_then(Json::as_f64).expect("alpha1");
+    let omega = xi(&p_soft, &XiConfig::new(alpha1)).expect("xi applies");
+
+    let out = upsilon(&a, &p_soft, &z, &omega.indices, &UpsilonConfig::default())
+        .expect("upsilon applies");
+    let want = fx.get("expected_upsilon").expect("expected_upsilon");
+
+    let centroids: Vec<Option<usize>> = usize_list(want.get("centroids").expect("centroids"))
+        .into_iter()
+        .map(Some)
+        .collect();
+    assert_eq!(out.centroids, centroids, "Π centroid nodes");
+    assert_eq!(out.added, edge_list(want.get("added").expect("added")));
+    assert_eq!(
+        out.dropped,
+        edge_list(want.get("dropped").expect("dropped"))
+    );
+    assert_eq!(
+        graph_edges(&out.graph),
+        edge_list(want.get("graph_edges").expect("graph_edges")),
+        "edited edge list"
+    );
+}
+
+#[test]
+fn upsilon_add_only_ablation_matches_golden_fixture() {
+    let fx = fixture();
+    let (a, p_soft, z) = inputs(&fx);
+    let alpha1 = fx.get("alpha1").and_then(Json::as_f64).expect("alpha1");
+    let omega = xi(&p_soft, &XiConfig::new(alpha1)).expect("xi applies");
+
+    let cfg = UpsilonConfig {
+        add_edges: true,
+        drop_edges: false,
+    };
+    let out = upsilon(&a, &p_soft, &z, &omega.indices, &cfg).expect("upsilon applies");
+    let want = fx
+        .get("expected_upsilon_add_only")
+        .expect("expected_upsilon_add_only");
+    assert_eq!(out.added, edge_list(want.get("added").expect("added")));
+    assert!(out.dropped.is_empty());
+    assert_eq!(
+        graph_edges(&out.graph),
+        edge_list(want.get("graph_edges").expect("graph_edges")),
+        "edited edge list (add-only)"
+    );
+}
+
+/// The operator outputs are thread-count invariant: Ξ and Υ are serial, but
+/// they consume embeddings and assignments produced by parallel kernels, so
+/// lock the whole fixture path at several thread counts too.
+#[test]
+fn fixture_outputs_are_thread_count_invariant() {
+    let fx = fixture();
+    let (a, p_soft, z) = inputs(&fx);
+    let alpha1 = fx.get("alpha1").and_then(Json::as_f64).expect("alpha1");
+    for t in [1usize, 2, 3, 8] {
+        rgae_par::with_threads(t, || {
+            let omega = xi(&p_soft, &XiConfig::new(alpha1)).expect("xi applies");
+            let out = upsilon(&a, &p_soft, &z, &omega.indices, &UpsilonConfig::default())
+                .expect("upsilon applies");
+            let want = fx.get("expected_upsilon").expect("expected_upsilon");
+            assert_eq!(
+                graph_edges(&out.graph),
+                edge_list(want.get("graph_edges").expect("graph_edges")),
+                "threads={t}"
+            );
+        });
+    }
+}
