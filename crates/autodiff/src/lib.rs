@@ -32,7 +32,7 @@ mod graph;
 mod optim;
 
 pub use graph::{Graph, Var};
-pub use optim::Adam;
+pub use optim::{Adam, AdamState};
 
 /// Errors surfaced by tape construction or backward passes.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -2,6 +2,19 @@
 
 use rgae_linalg::Mat;
 
+/// The persistable part of an [`Adam`] optimiser: the shared timestep and
+/// the first/second moment buffer per registered slot. Hyper-parameters
+/// (lr, betas, …) are reconstructed from config, not checkpointed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    /// Shared timestep `t` (number of `begin_step` calls so far).
+    pub t: u64,
+    /// First-moment estimate per slot, in registration order.
+    pub m: Vec<Mat>,
+    /// Second-moment estimate per slot, in registration order.
+    pub v: Vec<Mat>,
+}
+
 /// Adam (Kingma & Ba, 2015) with optional decoupled weight decay.
 ///
 /// State is indexed by parameter slot: callers register each parameter once
@@ -68,6 +81,38 @@ impl Adam {
     /// the per-parameter [`Adam::update`] calls of that step.
     pub fn begin_step(&mut self) {
         self.t += 1;
+    }
+
+    /// Snapshot the mutable optimiser state (timestep + moment buffers).
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restore a snapshot taken by [`Adam::export_state`]. The receiving
+    /// optimiser must already have the same slots registered (same count and
+    /// shapes) — state files from a different architecture are rejected.
+    pub fn import_state(&mut self, st: &AdamState) -> std::result::Result<(), &'static str> {
+        if st.m.len() != self.m.len() || st.v.len() != self.v.len() {
+            return Err("adam state slot count mismatch");
+        }
+        for (cur, new) in self.m.iter().zip(&st.m) {
+            if cur.shape() != new.shape() {
+                return Err("adam state slot shape mismatch");
+            }
+        }
+        for (cur, new) in self.v.iter().zip(&st.v) {
+            if cur.shape() != new.shape() {
+                return Err("adam state slot shape mismatch");
+            }
+        }
+        self.t = st.t;
+        self.m = st.m.clone();
+        self.v = st.v.clone();
+        Ok(())
     }
 
     /// Apply one Adam update to `param` for registered `slot` given `grad`.

@@ -1,0 +1,378 @@
+//! Byte-level encoding primitives: a growable little-endian writer, a
+//! bounds-checked reader, and the CRC32 (IEEE 802.3) checksum used by the
+//! checkpoint trailer.
+
+use std::fmt;
+
+/// Errors surfaced while encoding, decoding, or reading checkpoint bytes.
+#[derive(Debug)]
+pub enum Error {
+    /// The reader ran off the end of the buffer.
+    Eof,
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file carries a format version this build cannot read.
+    BadVersion(u32),
+    /// The CRC32 trailer does not match the payload (truncation/bit rot).
+    BadCrc,
+    /// The payload decoded but violated a structural invariant.
+    Corrupt(&'static str),
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of checkpoint data"),
+            Error::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            Error::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Error::BadCrc => write!(f, "checkpoint CRC mismatch (corrupt or truncated)"),
+            Error::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            Error::Io(e) => write!(f, "checkpoint io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias for checkpoint operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    // Standard IEEE 802.3 polynomial, reflected form.
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian byte writer.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes, verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` stored as u64 so the format is identical across platforms.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// f64 via its IEEE-754 bit pattern (bit-exact round trip, NaN included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Optional f64: presence byte then the value.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Optional usize: presence byte then the value.
+    pub fn put_opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_usize(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Length-prefixed f64 slice.
+    pub fn put_f64s(&mut self, xs: &[f64]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+
+    /// Length-prefixed usize slice.
+    pub fn put_usizes(&mut self, xs: &[usize]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_usize(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Eof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Single byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// u64 narrowed to usize with an overflow check (32-bit safety).
+    pub fn get_usize(&mut self) -> Result<usize> {
+        usize::try_from(self.get_u64()?).map_err(|_| Error::Corrupt("usize overflow"))
+    }
+
+    /// f64 from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Bool from a strict 0/1 byte.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Error::Corrupt("invalid bool byte")),
+        }
+    }
+
+    /// Optional f64 (presence byte then value).
+    pub fn get_opt_f64(&mut self) -> Result<Option<f64>> {
+        Ok(if self.get_bool()? {
+            Some(self.get_f64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Optional usize (presence byte then value).
+    pub fn get_opt_usize(&mut self) -> Result<Option<usize>> {
+        Ok(if self.get_bool()? {
+            Some(self.get_usize()?)
+        } else {
+            None
+        })
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::Corrupt("invalid utf-8 string"))
+    }
+
+    /// Length-prefixed f64 vector.
+    pub fn get_f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.get_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed usize vector.
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>> {
+        let n = self.get_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length prefix and sanity-check it against the bytes actually
+    /// left in the buffer (each element needs ≥ `min_elem_bytes`), so a
+    /// corrupted length cannot trigger a huge allocation.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.get_usize()?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(Error::Corrupt("length prefix exceeds buffer"));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_usize(12345);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_opt_f64(None);
+        w.put_opt_f64(Some(2.5));
+        w.put_opt_usize(Some(9));
+        w.put_str("Ω graph");
+        w.put_f64s(&[1.0, 2.0, 3.5]);
+        w.put_usizes(&[0, 1, usize::MAX >> 1]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_usize().unwrap(), 12345);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_opt_f64().unwrap(), None);
+        assert_eq!(r.get_opt_f64().unwrap(), Some(2.5));
+        assert_eq!(r.get_opt_usize().unwrap(), Some(9));
+        assert_eq!(r.get_str().unwrap(), "Ω graph");
+        assert_eq!(r.get_f64s().unwrap(), vec![1.0, 2.0, 3.5]);
+        assert_eq!(r.get_usizes().unwrap(), vec![0, 1, usize::MAX >> 1]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert!(matches!(r.get_u64(), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn bogus_length_prefix_rejected_without_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_usize(usize::MAX / 2); // absurd element count
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_f64s(), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(matches!(r.get_bool(), Err(Error::Corrupt(_))));
+    }
+}

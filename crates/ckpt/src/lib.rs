@@ -1,0 +1,32 @@
+//! Crash-safe checkpointing for the rgae training stack.
+//!
+//! The format is deliberately boring: a fixed magic + version header, a
+//! little-endian binary payload, and a CRC32 trailer, written atomically
+//! (tmp file + `rename`) with a keep-last-2 rotation. There are no external
+//! dependencies — the build environment is fully offline — so the codec is
+//! a few hundred lines of hand-rolled byte plumbing rather than serde.
+//!
+//! Layer map:
+//! * [`codec`] — byte-level reader/writer plus the CRC32 implementation;
+//! * [`store`] — framing, atomic file writes, and the rotating
+//!   [`CheckpointStore`];
+//! * [`state`] — serialisers for the numeric workspace types ([`Mat`],
+//!   [`Csr`], RNG state, [`AdamState`]) and the generic [`ModelState`] bag
+//!   that `GaeModel::export_params` fills in.
+//!
+//! The trainer-level `TrainerState` (phase, Ω, epoch records, …) lives in
+//! `rgae-core`, which owns those types; this crate only knows about the
+//! numeric building blocks so it can sit below `rgae-models` in the
+//! dependency graph.
+//!
+//! [`Mat`]: rgae_linalg::Mat
+//! [`Csr`]: rgae_linalg::Csr
+//! [`AdamState`]: rgae_autodiff::AdamState
+
+pub mod codec;
+pub mod state;
+pub mod store;
+
+pub use codec::{ByteReader, ByteWriter, Error, Result};
+pub use state::ModelState;
+pub use store::{read_checkpoint, write_checkpoint_atomic, CheckpointStore, MAGIC, VERSION};

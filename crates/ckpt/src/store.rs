@@ -1,0 +1,237 @@
+//! File framing and the rotating on-disk checkpoint store.
+//!
+//! A checkpoint file is:
+//!
+//! ```text
+//! magic "RGCK" | version u32 LE | payload_len u64 LE | payload | crc32 u32 LE
+//! ```
+//!
+//! where the CRC covers the payload bytes only. Writes go through a sibling
+//! tmp file + `rename`, so a crash mid-write can never clobber the previous
+//! good checkpoint; the store additionally keeps the previous generation
+//! (`state.prev.rgck`) so a checkpoint that was *fully* written but is later
+//! found corrupt (bit rot, partial fsync) still has a fallback.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{crc32, ByteReader, Error, Result};
+
+/// File magic: "RGCK" (rgae checkpoint).
+pub const MAGIC: [u8; 4] = *b"RGCK";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Wrap a payload in the framed on-disk representation.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Validate framing + CRC and return the payload bytes.
+pub fn unframe(bytes: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(bytes);
+    let mut magic = [0u8; 4];
+    for slot in &mut magic {
+        *slot = r.get_u8().map_err(|_| Error::BadMagic)?;
+    }
+    if magic != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != VERSION {
+        return Err(Error::BadVersion(version));
+    }
+    let len = r.get_usize()?;
+    if r.remaining() != len + 4 {
+        // Payload + trailing CRC must account for every remaining byte.
+        return Err(Error::BadCrc);
+    }
+    let payload = &bytes[bytes.len() - len - 4..bytes.len() - 4];
+    let mut tail = ByteReader::new(&bytes[bytes.len() - 4..]);
+    let stored = tail.get_u32()?;
+    if crc32(payload) != stored {
+        return Err(Error::BadCrc);
+    }
+    Ok(payload.to_vec())
+}
+
+/// Read and validate a checkpoint file, returning its payload.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<u8>> {
+    let bytes = fs::read(path)?;
+    unframe(&bytes)
+}
+
+/// Write a framed checkpoint atomically: write to a sibling `.tmp` file,
+/// fsync, then `rename` over the destination.
+pub fn write_checkpoint_atomic(path: &Path, payload: &[u8]) -> Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&frame(payload))?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A directory holding the latest checkpoint plus one previous generation.
+///
+/// Layout: `state.rgck` (latest) and `state.prev.rgck` (previous good).
+/// [`CheckpointStore::save`] rotates latest → prev before writing, so a save
+/// that is interrupted or later found corrupt always leaves a fallback.
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(dir: &Path) -> Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Path of the latest checkpoint.
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("state.rgck")
+    }
+
+    /// Path of the previous-generation checkpoint.
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join("state.prev.rgck")
+    }
+
+    /// Candidate files for loading, newest first.
+    pub fn candidates(&self) -> [PathBuf; 2] {
+        [self.latest_path(), self.prev_path()]
+    }
+
+    /// Save a payload: rotate the current latest to `prev`, then atomically
+    /// write the new latest.
+    pub fn save(&self, payload: &[u8]) -> Result<PathBuf> {
+        let latest = self.latest_path();
+        if latest.exists() {
+            fs::rename(&latest, self.prev_path())?;
+        }
+        write_checkpoint_atomic(&latest, payload)?;
+        Ok(latest)
+    }
+
+    /// Load the newest checkpoint that passes CRC validation, together with
+    /// the path it came from and how many newer candidates were rejected as
+    /// corrupt. Returns `Ok(None)` when no checkpoint file exists at all.
+    pub fn load_best(&self) -> Result<Option<(Vec<u8>, PathBuf, usize)>> {
+        let mut rejected = 0;
+        for path in self.candidates() {
+            if !path.exists() {
+                continue;
+            }
+            match read_checkpoint(&path) {
+                Ok(payload) => return Ok(Some((payload, path, rejected))),
+                Err(Error::Io(e)) => return Err(Error::Io(e)),
+                Err(_) => rejected += 1,
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rgae-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"hello checkpoint".to_vec();
+        let framed = frame(&payload);
+        assert_eq!(unframe(&framed).unwrap(), payload);
+    }
+
+    #[test]
+    fn unframe_rejects_bad_magic() {
+        let mut framed = frame(b"x");
+        framed[0] ^= 0xFF;
+        assert!(matches!(unframe(&framed), Err(Error::BadMagic)));
+    }
+
+    #[test]
+    fn unframe_rejects_bad_version() {
+        let mut framed = frame(b"x");
+        framed[4] = 99;
+        assert!(matches!(unframe(&framed), Err(Error::BadVersion(99))));
+    }
+
+    #[test]
+    fn unframe_rejects_flipped_payload_bit() {
+        let mut framed = frame(b"some payload bytes");
+        framed[20] ^= 0x01;
+        assert!(matches!(unframe(&framed), Err(Error::BadCrc)));
+    }
+
+    #[test]
+    fn unframe_rejects_truncation() {
+        let framed = frame(b"some payload bytes");
+        for cut in [framed.len() - 1, framed.len() - 5, 10, 3] {
+            assert!(unframe(&framed[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn store_rotates_and_falls_back() {
+        let dir = tmp_dir("rotate");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load_best().unwrap().is_none());
+
+        store.save(b"gen1").unwrap();
+        store.save(b"gen2").unwrap();
+        assert!(store.prev_path().exists());
+        let (payload, path, rejected) = store.load_best().unwrap().unwrap();
+        assert_eq!(payload, b"gen2");
+        assert_eq!(path, store.latest_path());
+        assert_eq!(rejected, 0);
+
+        // Corrupt the latest: loader must fall back to gen1.
+        let mut bytes = fs::read(store.latest_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(store.latest_path(), &bytes).unwrap();
+        let (payload, path, rejected) = store.load_best().unwrap().unwrap();
+        assert_eq!(payload, b"gen1");
+        assert_eq!(path, store.prev_path());
+        assert_eq!(rejected, 1);
+
+        // Corrupt both: loader reports nothing usable (but no panic/crash).
+        fs::write(store.prev_path(), b"garbage").unwrap();
+        assert!(store.load_best().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_file() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("state.rgck");
+        write_checkpoint_atomic(&path, b"payload").unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("state.rgck.tmp").exists());
+        assert_eq!(read_checkpoint(&path).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -27,6 +27,7 @@
 // numeric codebase; iterator rewrites obscure the index coupling.
 #![allow(clippy::needless_range_loop)]
 
+mod checkpoint;
 mod diagnostics;
 mod eval;
 mod multiplex;
@@ -35,11 +36,13 @@ mod trainer;
 mod upsilon;
 mod xi;
 
+pub use checkpoint::{CheckpointOpts, Phase, TrainerState};
 pub use diagnostics::{lambda_fd, lambda_fr, one_hot_targets, one_hot_targets_counted, q_prime};
 pub use eval::{evaluate, soft_assignments_or_kmeans, xi_assignments_or_kmeans, Metrics};
 pub use multiplex::{multiplex_self_supervision, upsilon_multiplex, MultiplexUpsilonOutcome};
 pub use trainer::{
-    train_plain, train_plain_traced, EpochRecord, FdMode, PlainReport, RConfig, RReport, RTrainer,
+    train_plain, train_plain_ckpt, train_plain_traced, EpochRecord, FdMode, PlainReport, RConfig,
+    RReport, RTrainer,
 };
 pub use upsilon::{upsilon, UpsilonConfig, UpsilonOutcome};
 pub use xi::{xi, Omega, XiConfig};
@@ -55,6 +58,13 @@ pub enum Error {
     Graph(rgae_graph::Error),
     /// Configuration invariant violated.
     Config(&'static str),
+    /// Checkpoint store failure (I/O only — corrupt checkpoint *contents*
+    /// never error; the loader falls back or starts fresh).
+    Checkpoint(String),
+    /// The crash-injection hook fired right after a checkpoint save
+    /// (`CheckpointOpts::halt_after_saves`). Not a real failure: resuming
+    /// from the checkpoint continues the run bit-identically.
+    Halted,
 }
 
 impl From<rgae_models::Error> for Error {
@@ -82,6 +92,8 @@ impl std::fmt::Display for Error {
             Error::Cluster(e) => write!(f, "cluster: {e}"),
             Error::Graph(e) => write!(f, "graph: {e}"),
             Error::Config(m) => write!(f, "config: {m}"),
+            Error::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            Error::Halted => write!(f, "halted after checkpoint save (crash injection)"),
         }
     }
 }

@@ -31,6 +31,7 @@ use rgae_linalg::{Csr, Rng64};
 use rgae_models::{ClusterStep, GaeModel, StepSpec, TrainData};
 use rgae_obs::{span, EpochEvent, Event, Recorder, RunSummary, NOOP};
 
+use crate::checkpoint::{CheckpointOpts, Phase, Saver, TrainerState, VARIANT_PLAIN, VARIANT_R};
 use crate::diagnostics::{lambda_fd, lambda_fr, one_hot_targets_counted, q_prime};
 use crate::eval::{
     evaluate_traced, soft_assignments_or_kmeans_traced, xi_assignments_or_kmeans_traced, Metrics,
@@ -249,13 +250,16 @@ pub struct EpochRecord {
     pub omega_acc: f64,
     /// Accuracy over 𝒱 − Ω.
     pub rest_acc: f64,
-    /// Statistics of the current self-supervision graph.
-    pub graph_stats: GraphStats,
+    /// Statistics of the current self-supervision graph. Computed only on
+    /// eval epochs (and always on the final one) — the O(|E|) scans are
+    /// skipped in between.
+    pub graph_stats: Option<GraphStats>,
     /// Links present in `A^self_clus` but not in `A`, split by label
-    /// agreement: `(true_links, false_links)`.
-    pub added_links: (usize, usize),
-    /// Links of `A` missing from `A^self_clus`, split the same way.
-    pub dropped_links: (usize, usize),
+    /// agreement: `(true_links, false_links)`. Eval epochs only.
+    pub added_links: Option<(usize, usize)>,
+    /// Links of `A` missing from `A^self_clus`, split the same way. Eval
+    /// epochs only.
+    pub dropped_links: Option<(usize, usize)>,
     /// Λ_FR with the Ξ restriction (the R-model's own value).
     pub lambda_fr_restricted: Option<f64>,
     /// Λ_FR without the restriction (the plain model's value at the same θ).
@@ -375,19 +379,38 @@ fn supervised_graph(
 pub struct RTrainer<'a> {
     cfg: RConfig,
     rec: &'a dyn Recorder,
+    ckpt: Option<CheckpointOpts>,
 }
 
 impl RTrainer<'static> {
     /// Build from a configuration, with the no-op recorder.
     pub fn new(cfg: RConfig) -> Self {
-        RTrainer { cfg, rec: &NOOP }
+        RTrainer {
+            cfg,
+            rec: &NOOP,
+            ckpt: None,
+        }
     }
 }
 
 impl<'a> RTrainer<'a> {
     /// Build from a configuration and a run-log recorder.
     pub fn with_recorder(cfg: RConfig, rec: &'a dyn Recorder) -> Self {
-        RTrainer { cfg, rec }
+        RTrainer {
+            cfg,
+            rec,
+            ckpt: None,
+        }
+    }
+
+    /// Enable crash-safe checkpointing. Saves land in `opts.dir` every
+    /// `opts.every` epochs (plus at phase boundaries and at the end); with
+    /// `opts.resume` the trainer re-enters mid-phase from the newest
+    /// readable checkpoint and finishes bit-identically to an uninterrupted
+    /// run.
+    pub fn with_checkpoints(mut self, opts: CheckpointOpts) -> Self {
+        self.ckpt = Some(opts);
+        self
     }
 
     /// Borrow the configuration.
@@ -409,15 +432,56 @@ impl<'a> RTrainer<'a> {
         rng: &mut Rng64,
     ) -> Result<()> {
         apply_thread_config(&self.cfg);
+        let mut saver = Saver::open(self.ckpt.as_ref(), self.rec)?;
+        let mut start = 0usize;
+        if let Some(s) = saver.as_ref() {
+            if let Some(st) = s.load_for_resume(VARIANT_R) {
+                match st.phase {
+                    Phase::Pretrain { next_epoch } => {
+                        model.import_params(&st.model)?;
+                        *rng = st.rng();
+                        start = next_epoch;
+                    }
+                    // Pretraining (and head init) already finished; the
+                    // clustering phase restores itself from the same store.
+                    Phase::Clustering { .. } | Phase::Done => return Ok(()),
+                }
+            }
+        }
         let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
         {
             let _pretrain = span(self.rec, "pretrain");
-            for _ in 0..self.cfg.pretrain_epochs {
+            for epoch in start..self.cfg.pretrain_epochs {
                 model.train_step(data, &spec, rng)?;
+                if let Some(s) = saver.as_mut() {
+                    let next = epoch + 1;
+                    if s.due(next) && next < self.cfg.pretrain_epochs {
+                        let st = TrainerState::new(
+                            VARIANT_R,
+                            Phase::Pretrain { next_epoch: next },
+                            model.export_params(),
+                            rng,
+                        );
+                        s.save(&st)?;
+                    }
+                }
             }
         }
-        let _init = span(self.rec, "init_head");
-        model.init_clustering(data, rng)?;
+        {
+            let _init = span(self.rec, "init_head");
+            model.init_clustering(data, rng)?;
+        }
+        // Phase-boundary save: pretraining + head init are the expensive
+        // prefix shared by every resume, so always persist them.
+        if let Some(s) = saver.as_mut() {
+            let st = TrainerState::new(
+                VARIANT_R,
+                Phase::Clustering { next_epoch: 0 },
+                model.export_params(),
+                rng,
+            );
+            s.save(&st)?;
+        }
         Ok(())
     }
 
@@ -452,10 +516,60 @@ impl<'a> RTrainer<'a> {
         let truth = graph.labels();
         let n = data.num_nodes;
         let all_nodes: Vec<usize> = (0..n).collect();
-        let pretrain_metrics = {
-            let _eval = span(rec, "eval");
-            evaluate_traced(model, data, truth, rng, rec)?
-        };
+
+        let mut saver = Saver::open(self.ckpt.as_ref(), rec)?;
+        let mut resumed = saver.as_ref().and_then(|s| s.load_for_resume(VARIANT_R));
+        if resumed
+            .as_ref()
+            .is_some_and(|st| matches!(st.phase, Phase::Pretrain { .. }))
+        {
+            // Mid-pretraining state belongs to `pretrain`; reaching here
+            // without it means the caller chose to skip resuming that phase,
+            // so the clustering phase starts fresh.
+            resumed = None;
+        }
+
+        // Fast-forward: the stored run already finished. Rebuild its report
+        // and replay its events so a resumed log is still complete.
+        if resumed.as_ref().is_some_and(|st| st.phase == Phase::Done) {
+            let st = resumed.take().unwrap();
+            if let (Some(pm), Some(fm)) = (st.pretrain_metrics, st.final_metrics) {
+                model.import_params(&st.model)?;
+                *rng = st.rng();
+                let final_graph = st
+                    .a_self
+                    .as_ref()
+                    .map_or_else(|| Rc::clone(&data.adjacency), |a| Rc::new(a.clone()));
+                let snapshots = st.r_snapshots(&final_graph);
+                if rec.enabled() {
+                    for e in &st.epochs {
+                        rec.record(&Event::Epoch(e.to_event()));
+                        rec.gauge("omega_size", Some(e.epoch), e.omega_size as f64);
+                    }
+                    if let Some(epoch) = st.converged_at {
+                        rec.record(&Event::Convergence { epoch });
+                    }
+                    rec.record(&Event::RunEnd(RunSummary {
+                        train_seconds: st.elapsed_seconds,
+                        converged_at: st.converged_at,
+                        epochs_run: st.epochs.len(),
+                        final_acc: fm.acc,
+                        final_nmi: fm.nmi,
+                        final_ari: fm.ari,
+                    }));
+                }
+                return Ok(RReport {
+                    pretrain_metrics: pm,
+                    final_metrics: fm,
+                    converged_at: st.converged_at,
+                    epochs: st.epochs,
+                    train_seconds: st.elapsed_seconds,
+                    final_graph,
+                    snapshots,
+                });
+            }
+            // A finished state missing its metrics is unusable: run fresh.
+        }
 
         let mut a_self: Rc<Csr> = Rc::clone(&data.adjacency);
         let mut omega = Omega {
@@ -464,12 +578,55 @@ impl<'a> RTrainer<'a> {
             lambda2: vec![0.0; n],
         };
         let mut epochs: Vec<EpochRecord> = Vec::new();
-        let mut snapshots = Vec::new();
+        let mut snapshots: Vec<(usize, rgae_linalg::Mat, Rc<Csr>)> = Vec::new();
         let mut converged_at = None;
+        let mut start_epoch = 0usize;
+        let mut elapsed_base = 0.0;
+        let mut restored_pretrain_metrics: Option<Metrics> = None;
+
+        if let Some(st) = resumed {
+            // Mid-clustering resume: restore every mutable input of the loop
+            // at the saved epoch boundary, then replay the stored epoch
+            // events (a fresh run log starts empty).
+            model.import_params(&st.model)?;
+            *rng = st.rng();
+            if let Some(a) = st.a_self.clone() {
+                a_self = Rc::new(a);
+            }
+            snapshots = st.r_snapshots(&a_self);
+            if let Some(o) = st.omega {
+                omega = o;
+            }
+            converged_at = st.converged_at;
+            restored_pretrain_metrics = st.pretrain_metrics;
+            elapsed_base = st.elapsed_seconds;
+            if rec.enabled() {
+                for e in &st.epochs {
+                    rec.record(&Event::Epoch(e.to_event()));
+                    rec.gauge("omega_size", Some(e.epoch), e.omega_size as f64);
+                }
+            }
+            epochs = st.epochs;
+            start_epoch = st.phase.next_epoch().unwrap_or(0);
+        }
+
+        // The phase-boundary checkpoint precedes this evaluation, so a
+        // resume from it re-consumes the RNG stream exactly like a fresh
+        // run; mid-clustering checkpoints carry the metrics instead.
+        let pretrain_metrics = match restored_pretrain_metrics {
+            Some(m) => m,
+            None => {
+                let _eval = span(rec, "eval");
+                evaluate_traced(model, data, truth, rng, rec)?
+            }
+        };
+
         let clustering = span(rec, "clustering");
+        let phase_start = std::time::Instant::now();
 
         // Table 7 protection variant: one-shot Υ(A, P, 𝒱) before training.
-        if cfg.use_upsilon && cfg.fd_mode == FdMode::SingleStepProtection {
+        // Mid-clustering resumes restore the transformed graph instead.
+        if start_epoch == 0 && cfg.use_upsilon && cfg.fd_mode == FdMode::SingleStepProtection {
             let _upsilon = span(rec, "upsilon");
             let p = soft_assignments_or_kmeans_traced(model, data, rng, rec)?;
             let z = model.embed(data);
@@ -479,7 +636,7 @@ impl<'a> RTrainer<'a> {
             a_self = Rc::new(out.graph);
         }
 
-        for epoch in 0..cfg.max_epochs {
+        for epoch in start_epoch..cfg.max_epochs {
             if cfg.snapshot_epochs.contains(&epoch) {
                 snapshots.push((epoch, model.embed(data), Rc::clone(&a_self)));
             }
@@ -535,10 +692,21 @@ impl<'a> RTrainer<'a> {
             let loss = model.train_step(data, &spec, rng)?;
             step_t.stop();
 
+            // This epoch ends the run either by convergence (|Ω| ≥ 0.9N,
+            // checked on the Ω that drove the step) or by exhausting the
+            // budget; both force a full evaluation so the last record always
+            // carries metrics regardless of `eval_every`.
+            let converging = converged_at.is_none()
+                && epoch >= cfg.min_epochs
+                && omega.coverage(n) >= cfg.convergence;
+            let last_epoch = converging || epoch + 1 == cfg.max_epochs;
+
             // Bookkeeping.
             let record = {
                 let _record = span(rec, "record");
-                self.record_epoch(model, data, graph, epoch, loss, &omega, &a_self, rng)?
+                self.record_epoch(
+                    model, data, graph, epoch, loss, &omega, &a_self, rng, last_epoch,
+                )?
             };
             if rec.enabled() {
                 rec.record(&Event::Epoch(record.to_event()));
@@ -546,20 +714,50 @@ impl<'a> RTrainer<'a> {
             }
             epochs.push(record);
 
-            if converged_at.is_none()
-                && epoch >= cfg.min_epochs
-                && omega.coverage(n) >= cfg.convergence
-            {
+            if converging {
                 converged_at = Some(epoch);
                 if rec.enabled() {
                     rec.record(&Event::Convergence { epoch });
                 }
+            }
+
+            if let Some(s) = saver.as_mut() {
+                if !last_epoch && s.due(epoch + 1) {
+                    let mut st = TrainerState::new(
+                        VARIANT_R,
+                        Phase::Clustering {
+                            next_epoch: epoch + 1,
+                        },
+                        model.export_params(),
+                        rng,
+                    );
+                    st.omega = Some(omega.clone());
+                    st.a_self = Some((*a_self).clone());
+                    st.converged_at = converged_at;
+                    st.pretrain_metrics = Some(pretrain_metrics);
+                    st.epochs = epochs.clone();
+                    st.snapshots = snapshots
+                        .iter()
+                        .map(|(e, z, a)| (*e, z.clone(), Some((**a).clone())))
+                        .collect();
+                    st.elapsed_seconds = elapsed_base + phase_start.elapsed().as_secs_f64();
+                    s.save(&st)?;
+                }
+            }
+
+            if converging {
                 break;
             }
         }
-        let train_seconds = clustering.stop();
-        if cfg.snapshot_epochs.iter().any(|&e| e >= cfg.max_epochs) {
-            snapshots.push((cfg.max_epochs, model.embed(data), Rc::clone(&a_self)));
+        let train_seconds = elapsed_base + clustering.stop();
+        // Requested snapshots at or past the end of the run collapse into
+        // one final snapshot labelled with the actual epoch count — on early
+        // convergence that is the convergence epoch + 1, not `max_epochs`.
+        let end_epoch = epochs.last().map_or(0, |e| e.epoch + 1);
+        if cfg.snapshot_epochs.iter().any(|&e| e >= end_epoch)
+            && !snapshots.iter().any(|s| s.0 == end_epoch)
+        {
+            snapshots.push((end_epoch, model.embed(data), Rc::clone(&a_self)));
         }
         let final_metrics = {
             let _eval = span(rec, "eval");
@@ -575,6 +773,20 @@ impl<'a> RTrainer<'a> {
                 final_ari: final_metrics.ari,
             }));
             flush_kernel_stats(rec);
+        }
+        if let Some(s) = saver.as_mut() {
+            let mut st = TrainerState::new(VARIANT_R, Phase::Done, model.export_params(), rng);
+            st.a_self = Some((*a_self).clone());
+            st.converged_at = converged_at;
+            st.pretrain_metrics = Some(pretrain_metrics);
+            st.final_metrics = Some(final_metrics);
+            st.epochs = epochs.clone();
+            st.snapshots = snapshots
+                .iter()
+                .map(|(e, z, a)| (*e, z.clone(), Some((**a).clone())))
+                .collect();
+            st.elapsed_seconds = train_seconds;
+            s.save(&st)?;
         }
         Ok(RReport {
             pretrain_metrics,
@@ -598,6 +810,7 @@ impl<'a> RTrainer<'a> {
         omega: &Omega,
         a_self: &Rc<Csr>,
         rng: &mut Rng64,
+        force_eval: bool,
     ) -> Result<EpochRecord> {
         let cfg = &self.cfg;
         let truth = graph.labels();
@@ -607,7 +820,7 @@ impl<'a> RTrainer<'a> {
         let p = soft_assignments_or_kmeans_traced(model, data, rng, self.rec)?;
         let pred = p.row_argmax();
 
-        let eval_now = epoch.is_multiple_of(cfg.eval_every);
+        let eval_now = force_eval || epoch.is_multiple_of(cfg.eval_every);
         let metrics = eval_now.then(|| Metrics::from_predictions(&pred, truth));
 
         let omega_pred: Vec<usize> = omega.indices.iter().map(|&i| pred[i]).collect();
@@ -626,11 +839,19 @@ impl<'a> RTrainer<'a> {
             accuracy(&rest_pred, &rest_truth)
         };
 
-        let graph_stats = GraphStats::compute(a_self, truth);
-        let added = edge_diff(&data.adjacency, a_self);
-        let dropped = edge_diff(a_self, &data.adjacency);
-        let added_links = split_links(&added, truth);
-        let dropped_links = split_links(&dropped, truth);
+        // The graph scans are O(|E|) and purely diagnostic; skip them on
+        // non-eval epochs (none of this consumes the RNG stream).
+        let (graph_stats, added_links, dropped_links) = if eval_now {
+            let added = edge_diff(&data.adjacency, a_self);
+            let dropped = edge_diff(a_self, &data.adjacency);
+            (
+                Some(GraphStats::compute(a_self, truth)),
+                Some(split_links(&added, truth)),
+                Some(split_links(&dropped, truth)),
+            )
+        } else {
+            (None, None, None)
+        };
         eval_t.stop();
 
         let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
@@ -700,13 +921,28 @@ pub fn train_plain(
 
 /// [`train_plain`] with a run-log recorder (spans, epoch events, and the
 /// closing run summary, mirroring the R trainer's trace).
-#[allow(clippy::too_many_lines)]
 pub fn train_plain_traced(
     model: &mut dyn GaeModel,
     graph: &AttributedGraph,
     cfg: &RConfig,
     rng: &mut Rng64,
     rec: &dyn Recorder,
+) -> Result<PlainReport> {
+    train_plain_ckpt(model, graph, cfg, rng, rec, None)
+}
+
+/// [`train_plain_traced`] with crash-safe checkpointing: periodic saves in
+/// both phases plus phase-boundary and end-of-run saves, and (with
+/// `opts.resume`) bit-identical mid-phase re-entry — the plain counterpart
+/// of [`RTrainer::with_checkpoints`].
+#[allow(clippy::too_many_lines)]
+pub fn train_plain_ckpt(
+    model: &mut dyn GaeModel,
+    graph: &AttributedGraph,
+    cfg: &RConfig,
+    rng: &mut Rng64,
+    rec: &dyn Recorder,
+    ckpt: Option<&CheckpointOpts>,
 ) -> Result<PlainReport> {
     apply_thread_config(cfg);
     if rec.enabled() {
@@ -715,26 +951,132 @@ pub fn train_plain_traced(
     }
     let data = TrainData::from_graph(graph);
     let truth = graph.labels();
-    let spec_pre = StepSpec::pretrain(Rc::clone(&data.adjacency));
-    {
-        let _pretrain = span(rec, "pretrain");
-        for _ in 0..cfg.pretrain_epochs {
-            model.train_step(&data, &spec_pre, rng)?;
+
+    let mut saver = Saver::open(ckpt, rec)?;
+    let mut resumed = saver
+        .as_ref()
+        .and_then(|s| s.load_for_resume(VARIANT_PLAIN));
+
+    // Fast-forward: the stored run already finished. Rebuild its report and
+    // replay its events so a resumed log is still complete.
+    if resumed.as_ref().is_some_and(|st| st.phase == Phase::Done) {
+        let st = resumed.take().unwrap();
+        if let (Some(pm), Some(fm)) = (st.pretrain_metrics, st.final_metrics) {
+            model.import_params(&st.model)?;
+            *rng = st.rng();
+            let snapshots = st.plain_snapshots();
+            if rec.enabled() {
+                for e in &st.epochs {
+                    rec.record(&Event::Epoch(e.to_event()));
+                    rec.gauge("omega_size", Some(e.epoch), e.omega_size as f64);
+                }
+                rec.record(&Event::RunEnd(RunSummary {
+                    train_seconds: st.elapsed_seconds,
+                    converged_at: None,
+                    epochs_run: st.epochs.len(),
+                    final_acc: fm.acc,
+                    final_nmi: fm.nmi,
+                    final_ari: fm.ari,
+                }));
+            }
+            return Ok(PlainReport {
+                pretrain_metrics: pm,
+                final_metrics: fm,
+                epochs: st.epochs,
+                train_seconds: st.elapsed_seconds,
+                snapshots,
+            });
+        }
+        // A finished state missing its metrics is unusable: run fresh.
+    }
+
+    let mut clustering_resume: Option<TrainerState> = None;
+    let mut pretrain_start = 0usize;
+    if let Some(st) = resumed {
+        match st.phase {
+            Phase::Pretrain { next_epoch } => {
+                model.import_params(&st.model)?;
+                *rng = st.rng();
+                pretrain_start = next_epoch;
+            }
+            Phase::Clustering { .. } => clustering_resume = Some(st),
+            // Handled (or discarded) above.
+            Phase::Done => {}
         }
     }
-    {
-        let _init = span(rec, "init_head");
-        model.init_clustering(&data, rng)?;
+
+    if clustering_resume.is_none() {
+        let spec_pre = StepSpec::pretrain(Rc::clone(&data.adjacency));
+        {
+            let _pretrain = span(rec, "pretrain");
+            for epoch in pretrain_start..cfg.pretrain_epochs {
+                model.train_step(&data, &spec_pre, rng)?;
+                if let Some(s) = saver.as_mut() {
+                    let next = epoch + 1;
+                    if s.due(next) && next < cfg.pretrain_epochs {
+                        let st = TrainerState::new(
+                            VARIANT_PLAIN,
+                            Phase::Pretrain { next_epoch: next },
+                            model.export_params(),
+                            rng,
+                        );
+                        s.save(&st)?;
+                    }
+                }
+            }
+        }
+        {
+            let _init = span(rec, "init_head");
+            model.init_clustering(&data, rng)?;
+        }
+        // Phase-boundary save: pretraining + head init are the expensive
+        // prefix shared by every resume, so always persist them.
+        if let Some(s) = saver.as_mut() {
+            let st = TrainerState::new(
+                VARIANT_PLAIN,
+                Phase::Clustering { next_epoch: 0 },
+                model.export_params(),
+                rng,
+            );
+            s.save(&st)?;
+        }
     }
-    let pretrain_metrics = {
-        let _eval = span(rec, "eval");
-        evaluate_traced(model, &data, truth, rng, rec)?
-    };
 
     let mut epochs: Vec<EpochRecord> = Vec::new();
-    let mut snapshots = Vec::new();
+    let mut snapshots: Vec<(usize, rgae_linalg::Mat)> = Vec::new();
+    let mut start_epoch = 0usize;
+    let mut elapsed_base = 0.0;
+    let mut restored_pretrain_metrics: Option<Metrics> = None;
+    if let Some(st) = clustering_resume {
+        model.import_params(&st.model)?;
+        *rng = st.rng();
+        snapshots = st.plain_snapshots();
+        restored_pretrain_metrics = st.pretrain_metrics;
+        elapsed_base = st.elapsed_seconds;
+        if rec.enabled() {
+            for e in &st.epochs {
+                rec.record(&Event::Epoch(e.to_event()));
+                rec.gauge("omega_size", Some(e.epoch), e.omega_size as f64);
+            }
+        }
+        epochs = st.epochs;
+        start_epoch = st.phase.next_epoch().unwrap_or(0);
+    }
+
+    // The phase-boundary checkpoint precedes this evaluation, so a resume
+    // from it re-consumes the RNG stream exactly like a fresh run;
+    // mid-clustering checkpoints carry the metrics instead.
+    let pretrain_metrics = match restored_pretrain_metrics {
+        Some(m) => m,
+        None => {
+            let _eval = span(rec, "eval");
+            evaluate_traced(model, &data, truth, rng, rec)?
+        }
+    };
+
     let clustering = span(rec, "clustering");
-    for epoch in 0..cfg.max_epochs {
+    let phase_start = std::time::Instant::now();
+    for epoch in start_epoch..cfg.max_epochs {
         if cfg.snapshot_epochs.contains(&epoch) {
             snapshots.push((epoch, model.embed(&data)));
         }
@@ -751,13 +1093,15 @@ pub fn train_plain_traced(
         let loss = model.train_step(&data, &spec, rng)?;
         step_t.stop();
 
+        // The final epoch always gets a full evaluation, whatever
+        // `eval_every` says — the closing record must carry metrics.
+        let last_epoch = epoch + 1 == cfg.max_epochs;
         let record_t = span(rec, "record");
         let eval_t = span(rec, "eval");
         let p = soft_assignments_or_kmeans_traced(model, &data, rng, rec)?;
         let pred = p.row_argmax();
-        let metrics = epoch
-            .is_multiple_of(cfg.eval_every)
-            .then(|| Metrics::from_predictions(&pred, truth));
+        let eval_now = last_epoch || epoch.is_multiple_of(cfg.eval_every);
+        let metrics = eval_now.then(|| Metrics::from_predictions(&pred, truth));
         eval_t.stop();
         let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
         let mut omega_size = data.num_nodes;
@@ -789,9 +1133,9 @@ pub fn train_plain_traced(
             omega_size,
             omega_acc: 0.0,
             rest_acc: 0.0,
-            graph_stats: GraphStats::compute(&data.adjacency, truth),
-            added_links: (0, 0),
-            dropped_links: (0, 0),
+            graph_stats: eval_now.then(|| GraphStats::compute(&data.adjacency, truth)),
+            added_links: eval_now.then_some((0, 0)),
+            dropped_links: eval_now.then_some((0, 0)),
             lambda_fr_restricted: fr_r,
             lambda_fr_full: fr_full,
             lambda_fd_current: fd_cur,
@@ -803,10 +1147,36 @@ pub fn train_plain_traced(
             rec.gauge("omega_size", Some(epoch), omega_size as f64);
         }
         epochs.push(record);
+
+        if let Some(s) = saver.as_mut() {
+            if !last_epoch && s.due(epoch + 1) {
+                let mut st = TrainerState::new(
+                    VARIANT_PLAIN,
+                    Phase::Clustering {
+                        next_epoch: epoch + 1,
+                    },
+                    model.export_params(),
+                    rng,
+                );
+                st.pretrain_metrics = Some(pretrain_metrics);
+                st.epochs = epochs.clone();
+                st.snapshots = snapshots
+                    .iter()
+                    .map(|(e, z)| (*e, z.clone(), None))
+                    .collect();
+                st.elapsed_seconds = elapsed_base + phase_start.elapsed().as_secs_f64();
+                s.save(&st)?;
+            }
+        }
     }
-    let train_seconds = clustering.stop();
-    if cfg.snapshot_epochs.iter().any(|&e| e >= cfg.max_epochs) {
-        snapshots.push((cfg.max_epochs, model.embed(&data)));
+    let train_seconds = elapsed_base + clustering.stop();
+    // Requested snapshots at or past the end of the run collapse into one
+    // final snapshot labelled with the actual epoch count.
+    let end_epoch = epochs.last().map_or(0, |e| e.epoch + 1);
+    if cfg.snapshot_epochs.iter().any(|&e| e >= end_epoch)
+        && !snapshots.iter().any(|s| s.0 == end_epoch)
+    {
+        snapshots.push((end_epoch, model.embed(&data)));
     }
     let final_metrics = {
         let _eval = span(rec, "eval");
@@ -822,6 +1192,18 @@ pub fn train_plain_traced(
             final_ari: final_metrics.ari,
         }));
         flush_kernel_stats(rec);
+    }
+    if let Some(s) = saver.as_mut() {
+        let mut st = TrainerState::new(VARIANT_PLAIN, Phase::Done, model.export_params(), rng);
+        st.pretrain_metrics = Some(pretrain_metrics);
+        st.final_metrics = Some(final_metrics);
+        st.epochs = epochs.clone();
+        st.snapshots = snapshots
+            .iter()
+            .map(|(e, z)| (*e, z.clone(), None))
+            .collect();
+        st.elapsed_seconds = train_seconds;
+        s.save(&st)?;
     }
     Ok(PlainReport {
         pretrain_metrics,

@@ -334,6 +334,46 @@ impl Csr {
             .collect()
     }
 
+    /// Row-pointer array (`rows + 1` entries). For serialisation.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices in row-major order. For serialisation.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Nonzero values in row-major order. For serialisation.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rebuild a matrix from raw CSR parts (the inverse of [`Csr::indptr`] /
+    /// [`Csr::indices`] / [`Csr::values`]). Validates every invariant, so
+    /// untrusted bytes (e.g. a checkpoint file) cannot construct a malformed
+    /// matrix.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Result<Self> {
+        let csr = Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        };
+        if csr.check_invariants() {
+            Ok(csr)
+        } else {
+            Err(Error::BadConstruction("invalid raw CSR parts"))
+        }
+    }
+
     /// Verify internal invariants; used by tests and `debug_assert!`s.
     pub fn check_invariants(&self) -> bool {
         if self.indptr.len() != self.rows + 1 || self.indptr[0] != 0 {

@@ -153,6 +153,21 @@ impl Rng64 {
     pub fn fork(&mut self) -> Rng64 {
         Rng64::seed_from_u64(self.inner.next_u64())
     }
+
+    /// Snapshot the full generator state: the four xoshiro256++ state words
+    /// plus the cached Box–Muller spare. Restoring via [`Rng64::from_state`]
+    /// reproduces the stream bit-for-bit from this exact point.
+    pub fn state(&self) -> ([u64; 4], Option<f64>) {
+        (self.inner.s, self.spare)
+    }
+
+    /// Rebuild a generator from a [`Rng64::state`] snapshot.
+    pub fn from_state(words: [u64; 4], spare: Option<f64>) -> Self {
+        Rng64 {
+            inner: Xoshiro256 { s: words },
+            spare,
+        }
+    }
 }
 
 /// Glorot/Xavier-uniform initialised matrix: `U(-s, s)` with

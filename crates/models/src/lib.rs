@@ -32,6 +32,7 @@ mod models;
 pub use data::TrainData;
 pub use encoder::{GcnEncoder, Mlp, VarGcnEncoder};
 pub use models::{Argae, Arvgae, Dgae, Gae, GmmVgae, Vgae};
+pub use rgae_ckpt::ModelState;
 
 use rgae_linalg::{Mat, Rng64};
 use std::rc::Rc;
@@ -161,6 +162,15 @@ pub trait GaeModel {
     /// Flattened gradient of the reconstruction loss against an explicit
     /// target w.r.t. the encoder parameters θ. Used by the Λ_FD diagnostic.
     fn recon_grad(&self, data: &TrainData, target: &Rc<rgae_linalg::Csr>) -> Result<Vec<f64>>;
+
+    /// Export every learned quantity (weights, clustering heads, optimiser
+    /// moments) into a [`ModelState`] for checkpointing.
+    fn export_params(&self) -> ModelState;
+
+    /// Restore a [`ModelState`] produced by [`GaeModel::export_params`] on a
+    /// freshly constructed model of the same architecture. Rejects state
+    /// saved by a different model or shape with [`Error::Invalid`].
+    fn import_params(&mut self, state: &ModelState) -> Result<()>;
 }
 
 impl Clone for Box<dyn GaeModel> {

@@ -19,7 +19,7 @@ use rgae_cluster::{dec_target_distribution, kmeans, GaussianMixture};
 use rgae_linalg::{standard_normal, Csr, Mat, Rng64};
 
 use crate::encoder::{GcnEncoder, Mlp, VarGcnEncoder};
-use crate::{ClusterStep, Error, GaeModel, Result, StepSpec, TrainData};
+use crate::{ClusterStep, Error, GaeModel, ModelState, Result, StepSpec, TrainData};
 
 /// Default hidden sizes used by every model (Appendix B / GAE reference).
 pub const HIDDEN: usize = 32;
@@ -57,6 +57,58 @@ fn gather_target(target: &Mat, omega: Option<&[usize]>) -> Mat {
     match omega {
         Some(idx) => target.select_rows(idx),
         None => target.clone(),
+    }
+}
+
+// --- checkpoint helpers ----------------------------------------------------
+
+/// Export a parameter list under `{prefix}0`, `{prefix}1`, ….
+fn export_mats(st: &mut ModelState, prefix: &str, params: &[&Mat]) {
+    for (i, p) in params.iter().enumerate() {
+        st.push_mat(&format!("{prefix}{i}"), (*p).clone());
+    }
+}
+
+/// Import a parameter list written by [`export_mats`], shape-checked.
+fn import_mats(st: &ModelState, prefix: &str, params: Vec<&mut Mat>) -> Result<()> {
+    for (i, p) in params.into_iter().enumerate() {
+        let m = st
+            .mat(&format!("{prefix}{i}"))
+            .ok_or(Error::Invalid("model state is missing a parameter"))?;
+        if m.shape() != p.shape() {
+            return Err(Error::Invalid("model state parameter shape mismatch"));
+        }
+        *p = m.clone();
+    }
+    Ok(())
+}
+
+/// Import a single named matrix, shape-checked.
+fn import_mat(st: &ModelState, key: &str, dst: &mut Mat) -> Result<()> {
+    let m = st
+        .mat(key)
+        .ok_or(Error::Invalid("model state is missing a matrix"))?;
+    if m.shape() != dst.shape() {
+        return Err(Error::Invalid("model state matrix shape mismatch"));
+    }
+    *dst = m.clone();
+    Ok(())
+}
+
+/// Import a named optimiser state (slot count/shapes checked by Adam).
+fn import_adam(st: &ModelState, key: &str, opt: &mut Adam) -> Result<()> {
+    let a = st
+        .adam(key)
+        .ok_or(Error::Invalid("model state is missing optimiser state"))?;
+    opt.import_state(a).map_err(Error::Invalid)
+}
+
+/// Reject state written by a different model family.
+fn check_state_name(st: &ModelState, name: &str) -> Result<()> {
+    if st.name == name {
+        Ok(())
+    } else {
+        Err(Error::Invalid("model state belongs to a different model"))
     }
 }
 
@@ -150,6 +202,19 @@ impl GaeModel for Gae {
         let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+
+    fn export_params(&self) -> ModelState {
+        let mut st = ModelState::new(self.name());
+        export_mats(&mut st, "enc", &self.enc.params());
+        st.push_adam("opt", self.opt.export_state());
+        st
+    }
+
+    fn import_params(&mut self, state: &ModelState) -> Result<()> {
+        check_state_name(state, self.name())?;
+        import_mats(state, "enc", self.enc.params_mut())?;
+        import_adam(state, "opt", &mut self.opt)
     }
 }
 
@@ -257,6 +322,19 @@ impl GaeModel for Vgae {
         let (loss, leaves) = self.recon_kl_loss(&mut g, data, target, None)?;
         g.backward(loss)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+
+    fn export_params(&self) -> ModelState {
+        let mut st = ModelState::new(self.name());
+        export_mats(&mut st, "enc", &self.enc.params());
+        st.push_adam("opt", self.opt.export_state());
+        st
+    }
+
+    fn import_params(&mut self, state: &ModelState) -> Result<()> {
+        check_state_name(state, self.name())?;
+        import_mats(state, "enc", self.enc.params_mut())?;
+        import_adam(state, "opt", &mut self.opt)
     }
 }
 
@@ -405,6 +483,28 @@ impl GaeModel for Argae {
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
     }
+
+    fn export_params(&self) -> ModelState {
+        let mut st = ModelState::new(self.name());
+        export_mats(&mut st, "enc", &self.enc.params());
+        export_mats(&mut st, "disc", &self.disc.params());
+        st.push_adam("opt_enc", self.opt_enc.export_state());
+        st.push_adam("opt_disc", self.opt_disc.export_state());
+        st.push_num("adv_weight", self.adv_weight);
+        st
+    }
+
+    fn import_params(&mut self, state: &ModelState) -> Result<()> {
+        check_state_name(state, self.name())?;
+        import_mats(state, "enc", self.enc.params_mut())?;
+        import_mats(state, "disc", self.disc.params_mut())?;
+        import_adam(state, "opt_enc", &mut self.opt_enc)?;
+        import_adam(state, "opt_disc", &mut self.opt_disc)?;
+        self.adv_weight = state
+            .num("adv_weight")
+            .ok_or(Error::Invalid("model state is missing adv_weight"))?;
+        Ok(())
+    }
 }
 
 /// Adversarially Regularised *Variational* GAE.
@@ -517,6 +617,28 @@ impl GaeModel for Arvgae {
         let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+
+    fn export_params(&self) -> ModelState {
+        let mut st = ModelState::new(self.name());
+        export_mats(&mut st, "enc", &self.enc.params());
+        export_mats(&mut st, "disc", &self.disc.params());
+        st.push_adam("opt_enc", self.opt_enc.export_state());
+        st.push_adam("opt_disc", self.opt_disc.export_state());
+        st.push_num("adv_weight", self.adv_weight);
+        st
+    }
+
+    fn import_params(&mut self, state: &ModelState) -> Result<()> {
+        check_state_name(state, self.name())?;
+        import_mats(state, "enc", self.enc.params_mut())?;
+        import_mats(state, "disc", self.disc.params_mut())?;
+        import_adam(state, "opt_enc", &mut self.opt_enc)?;
+        import_adam(state, "opt_disc", &mut self.opt_disc)?;
+        self.adv_weight = state
+            .num("adv_weight")
+            .ok_or(Error::Invalid("model state is missing adv_weight"))?;
+        Ok(())
     }
 }
 
@@ -684,6 +806,25 @@ impl GaeModel for Dgae {
         let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+
+    fn export_params(&self) -> ModelState {
+        let mut st = ModelState::new(self.name());
+        export_mats(&mut st, "enc", &self.enc.params());
+        st.push_mat("centroids", self.centroids.clone());
+        st.push_flag("centroids_ready", self.centroids_ready);
+        st.push_adam("opt", self.opt.export_state());
+        st
+    }
+
+    fn import_params(&mut self, state: &ModelState) -> Result<()> {
+        check_state_name(state, self.name())?;
+        import_mats(state, "enc", self.enc.params_mut())?;
+        import_mat(state, "centroids", &mut self.centroids)?;
+        self.centroids_ready = state
+            .flag("centroids_ready")
+            .ok_or(Error::Invalid("model state is missing centroids_ready"))?;
+        import_adam(state, "opt", &mut self.opt)
     }
 }
 
@@ -923,5 +1064,38 @@ impl GaeModel for GmmVgae {
         let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
+    }
+
+    fn export_params(&self) -> ModelState {
+        let mut st = ModelState::new(self.name());
+        export_mats(&mut st, "enc", &self.enc.params());
+        st.push_mat("mix_means", self.mix_means.clone());
+        st.push_mat("mix_logvars", self.mix_logvars.clone());
+        st.push_vec("mix_weights", self.mix_weights.clone());
+        st.push_flag("heads_ready", self.heads_ready);
+        st.push_num("cluster_weight", self.cluster_weight);
+        st.push_adam("opt", self.opt.export_state());
+        st
+    }
+
+    fn import_params(&mut self, state: &ModelState) -> Result<()> {
+        check_state_name(state, self.name())?;
+        import_mats(state, "enc", self.enc.params_mut())?;
+        import_mat(state, "mix_means", &mut self.mix_means)?;
+        import_mat(state, "mix_logvars", &mut self.mix_logvars)?;
+        let weights = state
+            .vec("mix_weights")
+            .ok_or(Error::Invalid("model state is missing mix_weights"))?;
+        if weights.len() != self.mix_weights.len() {
+            return Err(Error::Invalid("model state mixture size mismatch"));
+        }
+        self.mix_weights = weights.clone();
+        self.heads_ready = state
+            .flag("heads_ready")
+            .ok_or(Error::Invalid("model state is missing heads_ready"))?;
+        self.cluster_weight = state
+            .num("cluster_weight")
+            .ok_or(Error::Invalid("model state is missing cluster_weight"))?;
+        import_adam(state, "opt", &mut self.opt)
     }
 }

@@ -315,3 +315,80 @@ fn dgae_xi_assignments_default_to_soft() {
     let b = model.xi_assignments(&data).unwrap().unwrap();
     assert!(a.max_abs_diff(&b) < 1e-12, "DGAE must not be tempered");
 }
+
+/// Every model round-trips through export_params/import_params with a
+/// bit-identical embedding and bit-identical continued training.
+#[test]
+fn export_import_round_trip_all_models() {
+    let g = small_graph(12);
+    let data = TrainData::from_graph(&g);
+    type ModelBuilder = Box<dyn Fn(&mut Rng64) -> Box<dyn GaeModel>>;
+    let builders: Vec<(&str, ModelBuilder)> = vec![
+        (
+            "GAE",
+            Box::new(|r: &mut Rng64| Box::new(Gae::new(80, r)) as Box<dyn GaeModel>),
+        ),
+        ("VGAE", Box::new(|r: &mut Rng64| Box::new(Vgae::new(80, r)))),
+        (
+            "ARGAE",
+            Box::new(|r: &mut Rng64| Box::new(Argae::new(80, r))),
+        ),
+        (
+            "ARVGAE",
+            Box::new(|r: &mut Rng64| Box::new(Arvgae::new(80, r))),
+        ),
+        (
+            "DGAE",
+            Box::new(|r: &mut Rng64| Box::new(Dgae::new(80, 3, r))),
+        ),
+        (
+            "GMM-VGAE",
+            Box::new(|r: &mut Rng64| Box::new(GmmVgae::new(80, 3, r))),
+        ),
+    ];
+    for (name, build) in &builders {
+        let mut rng = Rng64::seed_from_u64(77);
+        let mut model = build(&mut rng);
+        pretrain(model.as_mut(), &data, 10, &mut rng);
+        if matches!(*name, "DGAE" | "GMM-VGAE") {
+            model.init_clustering(&data, &mut rng).unwrap();
+        }
+        let state = model.export_params();
+        assert_eq!(&state.name, name);
+
+        // Import into a model built from a *different* seed: every learned
+        // quantity must be replaced.
+        let mut other_rng = Rng64::seed_from_u64(999);
+        let mut restored = build(&mut other_rng);
+        restored.import_params(&state).unwrap();
+        let z0 = model.embed(&data);
+        let z1 = restored.embed(&data);
+        for (a, b) in z0.as_slice().iter().zip(z1.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name} embed not bit-identical");
+        }
+
+        // Continued training from the restored state must also match
+        // bit-for-bit (optimiser moments round-tripped too).
+        let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
+        let (s0, s1) = rng.state();
+        let mut rng_b = Rng64::from_state(s0, s1);
+        for _ in 0..3 {
+            let la = model.train_step(&data, &spec, &mut rng).unwrap();
+            let lb = restored.train_step(&data, &spec, &mut rng_b).unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits(), "{name} loss diverged");
+        }
+    }
+}
+
+/// Importing state from a different model family is rejected.
+#[test]
+fn import_rejects_wrong_model_state() {
+    let mut rng = Rng64::seed_from_u64(5);
+    let gae = Gae::new(80, &mut rng);
+    let mut vgae = Vgae::new(80, &mut rng);
+    assert!(vgae.import_params(&gae.export_params()).is_err());
+
+    // Same family, different architecture (feature width) must also fail.
+    let mut narrow = Gae::new(40, &mut rng);
+    assert!(narrow.import_params(&gae.export_params()).is_err());
+}

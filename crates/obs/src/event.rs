@@ -42,10 +42,12 @@ pub struct EpochEvent {
     pub omega_acc: f64,
     /// Accuracy over 𝒱 − Ω.
     pub rest_acc: f64,
-    /// Links added by Υ that agree / disagree with the labels.
-    pub added_links: (usize, usize),
-    /// Links dropped by Υ that agree / disagree with the labels.
-    pub dropped_links: (usize, usize),
+    /// Links added by Υ that agree / disagree with the labels. `None` on
+    /// non-eval epochs, where the graph diff is skipped.
+    pub added_links: Option<(usize, usize)>,
+    /// Links dropped by Υ that agree / disagree with the labels. `None` on
+    /// non-eval epochs.
+    pub dropped_links: Option<(usize, usize)>,
     /// Hungarian-matched accuracy (eval epochs only).
     pub acc: Option<f64>,
     /// NMI (eval epochs only).
@@ -126,6 +128,19 @@ pub enum Event {
         /// Epoch of convergence.
         epoch: usize,
     },
+    /// A checkpoint interaction: `action` is `saved`, `loaded`, `fallback`
+    /// (a newer corrupt file was skipped in favour of this one), or
+    /// `corrupt` (a candidate failed CRC/decode validation).
+    Checkpoint {
+        /// What happened (`saved` / `loaded` / `fallback` / `corrupt`).
+        action: String,
+        /// Checkpoint file involved.
+        path: String,
+        /// Training phase recorded in (or expected from) the file.
+        phase: String,
+        /// Next epoch the checkpoint would resume at, when known.
+        epoch: Option<usize>,
+    },
     /// Per-run aggregated timing table (emitted before `RunEnd`).
     TimingSummary(Vec<TimingEntry>),
     /// Run end: final metrics and wall-clock time.
@@ -167,6 +182,7 @@ impl Event {
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
             Event::Convergence { .. } => "convergence",
+            Event::Checkpoint { .. } => "checkpoint",
             Event::TimingSummary(_) => "timing_summary",
             Event::RunEnd(_) => "run_end",
         }
@@ -195,10 +211,13 @@ impl Event {
                 fields.push(("omega_size".into(), Json::Int(e.omega_size as i64)));
                 fields.push(("omega_acc".into(), Json::Num(e.omega_acc)));
                 fields.push(("rest_acc".into(), Json::Num(e.rest_acc)));
-                fields.push(("added_true".into(), Json::Int(e.added_links.0 as i64)));
-                fields.push(("added_false".into(), Json::Int(e.added_links.1 as i64)));
-                fields.push(("dropped_true".into(), Json::Int(e.dropped_links.0 as i64)));
-                fields.push(("dropped_false".into(), Json::Int(e.dropped_links.1 as i64)));
+                fields.push(("added_true".into(), opt_int(e.added_links.map(|p| p.0))));
+                fields.push(("added_false".into(), opt_int(e.added_links.map(|p| p.1))));
+                fields.push(("dropped_true".into(), opt_int(e.dropped_links.map(|p| p.0))));
+                fields.push((
+                    "dropped_false".into(),
+                    opt_int(e.dropped_links.map(|p| p.1)),
+                ));
                 fields.push(("acc".into(), opt_num(e.acc)));
                 fields.push(("nmi".into(), opt_num(e.nmi)));
                 fields.push(("ari".into(), opt_num(e.ari)));
@@ -225,6 +244,17 @@ impl Event {
             }
             Event::Convergence { epoch } => {
                 fields.push(("epoch".into(), Json::Int(*epoch as i64)));
+            }
+            Event::Checkpoint {
+                action,
+                path,
+                phase,
+                epoch,
+            } => {
+                fields.push(("action".into(), Json::Str(action.clone())));
+                fields.push(("path".into(), Json::Str(path.clone())));
+                fields.push(("phase".into(), Json::Str(phase.clone())));
+                fields.push(("epoch".into(), opt_int(*epoch)));
             }
             Event::TimingSummary(entries) => {
                 let arr = entries
@@ -275,11 +305,14 @@ impl Event {
                 omega_size: get_usize(v, "omega_size")?,
                 omega_acc: get_f64(v, "omega_acc")?,
                 rest_acc: get_f64(v, "rest_acc")?,
-                added_links: (get_usize(v, "added_true")?, get_usize(v, "added_false")?),
-                dropped_links: (
-                    get_usize(v, "dropped_true")?,
-                    get_usize(v, "dropped_false")?,
-                ),
+                added_links: match (get_usize(v, "added_true"), get_usize(v, "added_false")) {
+                    (Some(t), Some(f)) => Some((t, f)),
+                    _ => None,
+                },
+                dropped_links: match (get_usize(v, "dropped_true"), get_usize(v, "dropped_false")) {
+                    (Some(t), Some(f)) => Some((t, f)),
+                    _ => None,
+                },
                 acc: get_opt_f64(v, "acc"),
                 nmi: get_opt_f64(v, "nmi"),
                 ari: get_opt_f64(v, "ari"),
@@ -303,6 +336,12 @@ impl Event {
             }),
             "convergence" => Some(Event::Convergence {
                 epoch: get_usize(v, "epoch")?,
+            }),
+            "checkpoint" => Some(Event::Checkpoint {
+                action: get_str(v, "action")?,
+                path: get_str(v, "path")?,
+                phase: get_str(v, "phase")?,
+                epoch: get_usize(v, "epoch"),
             }),
             "timing_summary" => {
                 let entries = v
@@ -363,8 +402,8 @@ mod tests {
                 omega_size: 120,
                 omega_acc: 0.9,
                 rest_acc: 0.4,
-                added_links: (10, 2),
-                dropped_links: (0, 7),
+                added_links: Some((10, 2)),
+                dropped_links: Some((0, 7)),
                 acc: Some(0.7),
                 nmi: None,
                 ari: Some(0.5),
@@ -373,6 +412,35 @@ mod tests {
                 lambda_fd_current: None,
                 lambda_fd_vanilla: Some(0.3),
             }),
+            // Non-eval epoch: the graph diff and metrics are skipped.
+            Event::Epoch(EpochEvent {
+                epoch: 4,
+                loss: 1.2,
+                omega_size: 121,
+                omega_acc: 0.9,
+                rest_acc: 0.4,
+                added_links: None,
+                dropped_links: None,
+                acc: None,
+                nmi: None,
+                ari: None,
+                lambda_fr_restricted: None,
+                lambda_fr_full: None,
+                lambda_fd_current: None,
+                lambda_fd_vanilla: None,
+            }),
+            Event::Checkpoint {
+                action: "saved".into(),
+                path: "ckpt/state.rgck".into(),
+                phase: "clustering".into(),
+                epoch: Some(25),
+            },
+            Event::Checkpoint {
+                action: "corrupt".into(),
+                path: "ckpt/state.rgck".into(),
+                phase: "unknown".into(),
+                epoch: None,
+            },
             Event::SpanEnd {
                 path: "clustering/upsilon".into(),
                 seconds: 0.0125,

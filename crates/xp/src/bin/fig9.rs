@@ -30,9 +30,17 @@ fn main() {
         opts.seed,
         &cfg,
     );
-    let report = RTrainer::with_recorder(cfg, rec)
-        .train(model.as_mut(), &graph, &mut rng)
-        .unwrap();
+    let mut trainer = RTrainer::with_recorder(cfg, rec);
+    if let Some(ckpt) = opts.ckpt_for(
+        &bin_name(),
+        dataset.name(),
+        ModelKind::GmmVgae.name(),
+        "r",
+        opts.seed,
+    ) {
+        trainer = trainer.with_checkpoints(ckpt);
+    }
+    let report = trainer.train(model.as_mut(), &graph, &mut rng).unwrap();
 
     let mut csv = CsvWriter::create(
         opts.out_dir.join("fig9.csv"),
@@ -60,27 +68,30 @@ fn main() {
     let mut false_links = Vec::new();
     for e in &report.epochs {
         let acc = e.metrics.map_or(f64::NAN, |m| m.acc);
+        let gs = e.graph_stats.as_ref().expect("eval_every = 1");
+        let added = e.added_links.expect("eval_every = 1");
+        let dropped = e.dropped_links.expect("eval_every = 1");
         csv.row(&[
             e.epoch as f64,
             e.omega_size as f64,
             acc,
             e.omega_acc,
             e.rest_acc,
-            e.graph_stats.num_edges as f64,
-            e.graph_stats.true_links as f64,
-            e.graph_stats.false_links as f64,
-            e.added_links.0 as f64,
-            e.added_links.1 as f64,
-            e.dropped_links.0 as f64,
-            e.dropped_links.1 as f64,
+            gs.num_edges as f64,
+            gs.true_links as f64,
+            gs.false_links as f64,
+            added.0 as f64,
+            added.1 as f64,
+            dropped.0 as f64,
+            dropped.1 as f64,
         ])
         .expect("csv row");
         omega_sz.push(e.omega_size as f64);
         acc_all.push(acc);
         acc_omega.push(e.omega_acc);
         acc_rest.push(e.rest_acc);
-        links.push(e.graph_stats.num_edges as f64);
-        false_links.push(e.graph_stats.false_links as f64);
+        links.push(gs.num_edges as f64);
+        false_links.push(gs.false_links as f64);
     }
     csv.finish().expect("csv flush");
 
@@ -109,14 +120,16 @@ fn main() {
         ascii_lines(&[("links", &links), ("false", &false_links)], 70, 10)
     );
     let last = report.epochs.last().unwrap();
+    let last_added = last.added_links.expect("eval_every = 1");
+    let last_dropped = last.dropped_links.expect("eval_every = 1");
     println!(
         "final: |Omega| = {} ({:.0}%), added true/false = {}/{}, dropped true/false = {}/{}",
         last.omega_size,
         100.0 * last.omega_size as f64 / graph.num_nodes() as f64,
-        last.added_links.0,
-        last.added_links.1,
-        last.dropped_links.0,
-        last.dropped_links.1
+        last_added.0,
+        last_added.1,
+        last_dropped.0,
+        last_dropped.1
     );
     println!("Final metrics: {}", report.final_metrics);
     println!("Series: {}", opts.out_dir.join("fig9.csv").display());

@@ -116,7 +116,15 @@ fn main() {
             let mut plain_ms = Vec::new();
             let mut r_ms = Vec::new();
             for trial in 0..opts.trials {
-                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64, rec);
+                let out = run_pair(
+                    model,
+                    dataset,
+                    &graph,
+                    &cfg,
+                    opts.seed + trial as u64,
+                    rec,
+                    &opts,
+                );
                 plain_ms.push(out.plain.final_metrics);
                 r_ms.push(out.r.final_metrics);
             }

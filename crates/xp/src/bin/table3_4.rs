@@ -38,7 +38,15 @@ fn main() {
             let mut plain_ms: Vec<Metrics> = Vec::new();
             let mut r_ms: Vec<Metrics> = Vec::new();
             for trial in 0..opts.trials {
-                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64, rec);
+                let out = run_pair(
+                    model,
+                    dataset,
+                    &graph,
+                    &cfg,
+                    opts.seed + trial as u64,
+                    rec,
+                    &opts,
+                );
                 for (variant, m) in [
                     ("plain", out.plain.final_metrics),
                     ("r", out.r.final_metrics),

@@ -33,7 +33,15 @@ fn main() {
             let mut plain_pe = Vec::new();
             let mut r_pe = Vec::new();
             for trial in 0..opts.trials {
-                let out = run_pair(model, dataset, &graph, &cfg, opts.seed + trial as u64, rec);
+                let out = run_pair(
+                    model,
+                    dataset,
+                    &graph,
+                    &cfg,
+                    opts.seed + trial as u64,
+                    rec,
+                    &opts,
+                );
                 plain_t.push(out.plain.train_seconds);
                 r_t.push(out.r.train_seconds);
                 plain_pe.push(out.plain.train_seconds / out.plain.epochs.len().max(1) as f64);

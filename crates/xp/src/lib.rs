@@ -5,7 +5,9 @@
 use std::path::PathBuf;
 use std::rc::Rc;
 
-use rgae_core::{train_plain_traced, Metrics, PlainReport, RConfig, RReport, RTrainer, XiConfig};
+use rgae_core::{
+    train_plain_ckpt, CheckpointOpts, Metrics, PlainReport, RConfig, RReport, RTrainer, XiConfig,
+};
 use rgae_graph::AttributedGraph;
 use rgae_linalg::Rng64;
 use rgae_models::{Argae, Arvgae, Dgae, Gae, GaeModel, GmmVgae, TrainData, Vgae};
@@ -28,6 +30,13 @@ pub struct HarnessOpts {
     pub only_dataset: Option<String>,
     /// JSONL run-log path (`--trace-out`); `None` disables tracing.
     pub trace_out: Option<PathBuf>,
+    /// Root directory for crash-safe checkpoints (`--checkpoint-dir`); each
+    /// run gets its own sub-directory. `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint save period in epochs (`--checkpoint-every`).
+    pub checkpoint_every: usize,
+    /// Resume runs from their newest readable checkpoint (`--resume`).
+    pub resume: bool,
 }
 
 impl Default for HarnessOpts {
@@ -40,13 +49,17 @@ impl Default for HarnessOpts {
             out_dir: PathBuf::from("results"),
             only_dataset: None,
             trace_out: None,
+            checkpoint_dir: None,
+            checkpoint_every: 25,
+            resume: false,
         }
     }
 }
 
 impl HarnessOpts {
     /// Parse `--quick`, `--scale S`, `--seed N`, `--trials N`, `--out DIR`,
-    /// `--dataset NAME`, `--trace-out PATH` from the process arguments.
+    /// `--dataset NAME`, `--trace-out PATH`, `--checkpoint-dir DIR`,
+    /// `--checkpoint-every N`, `--resume` from the process arguments.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,8 +103,19 @@ impl HarnessOpts {
                     i += 1;
                     opts.trace_out = Some(PathBuf::from(value(&args, i, "--trace-out")));
                 }
+                "--checkpoint-dir" => {
+                    i += 1;
+                    opts.checkpoint_dir = Some(PathBuf::from(value(&args, i, "--checkpoint-dir")));
+                }
+                "--checkpoint-every" => {
+                    i += 1;
+                    opts.checkpoint_every = value(&args, i, "--checkpoint-every")
+                        .parse()
+                        .expect("--checkpoint-every takes an integer");
+                }
+                "--resume" => opts.resume = true,
                 other => panic!(
-                    "unknown option `{other}` (known: --quick --full --scale --seed --trials --out --dataset --trace-out)"
+                    "unknown option `{other}` (known: --quick --full --scale --seed --trials --out --dataset --trace-out --checkpoint-dir --checkpoint-every --resume)"
                 ),
             }
             i += 1;
@@ -113,6 +137,26 @@ impl HarnessOpts {
         self.only_dataset
             .as_deref()
             .is_none_or(|d| d == dataset.name())
+    }
+
+    /// Checkpoint options for one run, when `--checkpoint-dir` was given:
+    /// its own sub-directory keyed by the run identity, with the harness's
+    /// save period and resume flag applied.
+    pub fn ckpt_for(
+        &self,
+        binary: &str,
+        dataset: &str,
+        model: &str,
+        variant: &str,
+        seed: u64,
+    ) -> Option<CheckpointOpts> {
+        let root = self.checkpoint_dir.as_ref()?;
+        let dir = root.join(format!("{binary}-{dataset}-{model}-{variant}-{seed}"));
+        Some(
+            CheckpointOpts::new(dir)
+                .every(self.checkpoint_every)
+                .resume(self.resume),
+        )
     }
 
     /// The run-log recorder selected by `--trace-out`: a [`JsonlSink`] when
@@ -393,7 +437,9 @@ pub struct PairOutcome {
 }
 
 /// Run the 𝒟 / R-𝒟 pair for one model on one graph. Each half of the pair
-/// is logged as its own run (variants `plain` and `r`) through `rec`.
+/// is logged as its own run (variants `plain` and `r`) through `rec`, and
+/// checkpoints into its own sub-directory when the harness has
+/// `--checkpoint-dir` set.
 pub fn run_pair(
     model: ModelKind,
     dataset: DatasetKind,
@@ -401,13 +447,17 @@ pub fn run_pair(
     cfg: &RConfig,
     seed: u64,
     rec: &dyn Recorder,
+    opts: &HarnessOpts,
 ) -> PairOutcome {
     let binary = bin_name();
     let data = TrainData::from_graph(graph);
     let mut rng = Rng64::seed_from_u64(seed);
     let (mut plain_model, mut r_model) =
         model.build_pair(data.num_features(), graph.num_classes(), &mut rng);
-    let trainer = RTrainer::with_recorder(cfg.clone(), rec);
+    let mut trainer = RTrainer::with_recorder(cfg.clone(), rec);
+    if let Some(ckpt) = opts.ckpt_for(&binary, dataset.name(), model.name(), "r", seed) {
+        trainer = trainer.with_checkpoints(ckpt);
+    }
     // Shared pretraining on the R twin's weights == plain twin's weights
     // (identical init); pretrain each with the same RNG stream for identical
     // trajectories where sampling is involved.
@@ -422,7 +472,16 @@ pub fn run_pair(
         seed,
         cfg,
     );
-    let plain = train_plain_traced(plain_model.as_mut(), graph, cfg, &mut rng_a, rec).unwrap();
+    let plain_ckpt = opts.ckpt_for(&binary, dataset.name(), model.name(), "plain", seed);
+    let plain = train_plain_ckpt(
+        plain_model.as_mut(),
+        graph,
+        cfg,
+        &mut rng_a,
+        rec,
+        plain_ckpt.as_ref(),
+    )
+    .unwrap();
     emit_run_start(rec, &binary, model.name(), dataset.name(), "r", seed, cfg);
     trainer
         .pretrain(r_model.as_mut(), &data, &mut rng_b)
@@ -562,6 +621,21 @@ mod tests {
         assert!((cfg.gamma - 0.001).abs() < 1e-12);
         let cfg = rconfig_for(ModelKind::Gae, DatasetKind::CoraLike, false);
         assert!((cfg.gamma - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ckpt_for_builds_per_run_dirs() {
+        let mut opts = HarnessOpts::default();
+        assert!(opts.ckpt_for("b", "d", "m", "r", 1).is_none());
+        opts.checkpoint_dir = Some(PathBuf::from("ckpts"));
+        opts.checkpoint_every = 10;
+        opts.resume = true;
+        let c = opts
+            .ckpt_for("table1_2", "cora-like", "DGAE", "r", 7)
+            .unwrap();
+        assert!(c.dir.ends_with("table1_2-cora-like-DGAE-r-7"));
+        assert_eq!(c.every, 10);
+        assert!(c.resume);
     }
 
     #[test]

@@ -36,7 +36,15 @@ fn main() {
 
     let model = ModelKind::GmmVgae;
     let cfg = rconfig_for(model, dataset, true);
-    let out = run_pair(model, dataset, &graph, &cfg, 3, &rgae_obs::NOOP);
+    let out = run_pair(
+        model,
+        dataset,
+        &graph,
+        &cfg,
+        3,
+        &rgae_obs::NOOP,
+        &rgae_xp::HarnessOpts::default(),
+    );
     println!("\nGMM-VGAE   : {}", out.plain.final_metrics);
     println!("R-GMM-VGAE : {}", out.r.final_metrics);
     println!("\nThe R-variant's edge edits matter here: hub-to-hub links between");

@@ -22,7 +22,15 @@ fn main() {
     let mut rows = Vec::new();
     for model in ModelKind::all() {
         let cfg = rconfig_for(model, dataset, true);
-        let out = run_pair(model, dataset, &graph, &cfg, 1, &rgae_obs::NOOP);
+        let out = run_pair(
+            model,
+            dataset,
+            &graph,
+            &cfg,
+            1,
+            &rgae_obs::NOOP,
+            &rgae_xp::HarnessOpts::default(),
+        );
         println!(
             "{:<9} plain {} | R {}",
             model.name(),

@@ -43,8 +43,13 @@ fn main() {
         println!("converged (|Omega| >= 0.9 N) at clustering epoch {epoch}");
     }
     let last = report.epochs.last().expect("at least one epoch");
+    // The final epoch is always fully evaluated, so its graph stats exist.
+    let gs = last
+        .graph_stats
+        .as_ref()
+        .expect("final epoch carries stats");
     println!(
         "final self-supervision graph: {} edges ({} true / {} false)",
-        last.graph_stats.num_edges, last.graph_stats.true_links, last.graph_stats.false_links
+        gs.num_edges, gs.true_links, gs.false_links
     );
 }

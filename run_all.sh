@@ -1,20 +1,39 @@
 #!/bin/bash
 cd /root/repo
-mkdir -p results/logs
+mkdir -p results/logs results/ckpt
 # The training loops allocate and free large matrices every epoch; glibc's
 # default trim/mmap thresholds hand those pages back to the kernel on every
 # free, costing millions of minor page faults (~30% wall time on a full
 # sweep). Keeping the thresholds high keeps the pages in the process.
 export GLIBC_TUNABLES=glibc.malloc.trim_threshold=67108864:glibc.malloc.mmap_threshold=67108864
+
+# Every experiment writes periodic checkpoints under results/ckpt. If a run
+# dies (timeout, OOM, crash) we retry it once with --resume, which picks up
+# from the last checkpoint instead of restarting from epoch 0. A resumed run
+# reproduces the uninterrupted run bit for bit (see
+# crates/core/tests/checkpoint_resume.rs), so retried results are identical
+# to first-try results.
+run_xp() {
+  local secs=$1 log=$2 bin=$3
+  shift 3
+  local ckpt=(--checkpoint-dir results/ckpt --checkpoint-every 25)
+  if ! timeout "$secs" cargo run --release -p rgae-xp --bin "$bin" -- \
+      "${ckpt[@]}" "$@" > "results/logs/$log.log" 2>&1; then
+    echo "== $bin failed; retrying once from checkpoint =="
+    timeout "$secs" cargo run --release -p rgae-xp --bin "$bin" -- \
+      "${ckpt[@]}" --resume "$@" >> "results/logs/$log.log" 2>&1
+  fi
+}
+
 set -x
-timeout 2400 cargo run --release -p rgae-xp --bin table1_2 -- --dataset pubmed-like --out results/pubmed_fix --trace-out results/logs/table1_2_pubmed.jsonl > results/logs/table1_2_pubmed.log 2>&1
+run_xp 2400 table1_2_pubmed table1_2 --dataset pubmed-like --out results/pubmed_fix --trace-out results/logs/table1_2_pubmed.jsonl
 for b in table3_4 table6 table7 table8 table9 fig4 fig9 fig13; do
-  timeout 2000 cargo run --release -p rgae-xp --bin $b -- --trace-out results/logs/$b.jsonl > results/logs/$b.log 2>&1
+  run_xp 2000 $b $b --trace-out results/logs/$b.jsonl
 done
-timeout 1200 cargo run --release -p rgae-xp --bin table5 -- --trials 5 --trace-out results/logs/table5.jsonl > results/logs/table5.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin fig5_6 -- --scale 0.25 --trace-out results/logs/fig5_6.jsonl > results/logs/fig5_6.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin fig7_8 -- --scale 0.25 --trace-out results/logs/fig7_8.jsonl > results/logs/fig7_8.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin fig11_12 -- --scale 0.25 --trace-out results/logs/fig11_12.jsonl > results/logs/fig11_12.log 2>&1
-timeout 2400 cargo run --release -p rgae-xp --bin table17 -- --scale 0.3 --trials 2 --trace-out results/logs/table17.jsonl > results/logs/table17.log 2>&1
-timeout 1200 cargo run --release -p rgae-xp --bin fig10 -- --scale 0.2 --trace-out results/logs/fig10.jsonl > results/logs/fig10.log 2>&1
+run_xp 1200 table5 table5 --trials 5 --trace-out results/logs/table5.jsonl
+run_xp 2400 fig5_6 fig5_6 --scale 0.25 --trace-out results/logs/fig5_6.jsonl
+run_xp 2400 fig7_8 fig7_8 --scale 0.25 --trace-out results/logs/fig7_8.jsonl
+run_xp 2400 fig11_12 fig11_12 --scale 0.25 --trace-out results/logs/fig11_12.jsonl
+run_xp 2400 table17 table17 --scale 0.3 --trials 2 --trace-out results/logs/table17.jsonl
+run_xp 1200 fig10 fig10 --scale 0.2 --trace-out results/logs/fig10.jsonl
 echo ALL DONE

@@ -32,7 +32,15 @@ fn tables_1_to_4_pathway() {
         let mut plain_ms: Vec<Metrics> = Vec::new();
         let mut r_ms: Vec<Metrics> = Vec::new();
         for trial in 0..2 {
-            let out = run_pair(model, dataset, &graph, &cfg, 100 + trial, &rgae_obs::NOOP);
+            let out = run_pair(
+                model,
+                dataset,
+                &graph,
+                &cfg,
+                100 + trial,
+                &rgae_obs::NOOP,
+                &rgae_xp::HarnessOpts::default(),
+            );
             plain_ms.push(out.plain.final_metrics);
             r_ms.push(out.r.final_metrics);
         }
@@ -51,7 +59,15 @@ fn table5_pathway_times_are_positive() {
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(0.1, 2);
     let cfg = rconfig_for(ModelKind::Dgae, dataset, true);
-    let out = run_pair(ModelKind::Dgae, dataset, &graph, &cfg, 5, &rgae_obs::NOOP);
+    let out = run_pair(
+        ModelKind::Dgae,
+        dataset,
+        &graph,
+        &cfg,
+        5,
+        &rgae_obs::NOOP,
+        &rgae_xp::HarnessOpts::default(),
+    );
     assert!(out.plain.train_seconds > 0.0);
     assert!(out.r.train_seconds > 0.0);
     let s = stats(&[out.plain.train_seconds, out.r.train_seconds]);

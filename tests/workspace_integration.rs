@@ -79,6 +79,7 @@ fn run_pair_protocol_is_consistent() {
         &cfg,
         9,
         &rgae_obs::NOOP,
+        &rgae_xp::HarnessOpts::default(),
     );
     // Shared pretraining: both phases start from the same place.
     assert!(
