@@ -1,10 +1,22 @@
 //! The tape: nodes, forward ops, and the backward pass.
 
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rgae_linalg::{sigmoid, softplus, Csr, Mat};
 
 use crate::{Error, Result};
+
+/// Process-wide count of [`Graph::constant_shared`] calls — each one is a
+/// dense-matrix deep copy the tape did *not* make. Drained into the run
+/// log by the trainers (see `rgae-core`).
+static CONSTANT_SHARED_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// Drain the shared-constant reuse counter (allocations saved since the
+/// last call).
+pub fn take_constant_reuse_count() -> u64 {
+    CONSTANT_SHARED_REUSES.swap(0, Ordering::Relaxed)
+}
 
 /// Handle to a node on the tape. Cheap to copy; only valid for the
 /// [`Graph`] that created it.
@@ -63,6 +75,15 @@ enum Op {
         pos_weight: f64,
         norm: f64,
     },
+    /// Fused `bce_logits_sparse(gram(z), …)`: the scalar loss node, with
+    /// the latent gradient `dZ` (at unit upstream gradient) precomputed by
+    /// the tiled forward pass — no N×N logits on the tape.
+    GramBceFused {
+        z: Var,
+        /// `Σ_j (c_ij + c_ji) z_j` with the `norm/N²` scale folded in;
+        /// `None` when `z` does not track gradient.
+        dz_unit: Option<Rc<Mat>>,
+    },
     /// Mean BCE with logits against a constant dense target in `[0,1]`.
     BceLogitsDense(Var, Rc<Mat>),
     /// Scalar `Σ q log(q / p)` with constant `q`.
@@ -74,7 +95,10 @@ enum Op {
 }
 
 struct Node {
-    value: Mat,
+    /// Node values are write-once, so they live behind an `Rc`: constants
+    /// built from shared data ([`Graph::constant_shared`]) alias the
+    /// caller's allocation instead of deep-copying it every step.
+    value: Rc<Mat>,
     op: Op,
     /// Whether any ancestor is a gradient-tracking leaf.
     needs_grad: bool,
@@ -96,9 +120,9 @@ impl Graph {
         Graph::default()
     }
 
-    fn push(&mut self, value: Mat, op: Op, needs_grad: bool) -> Var {
+    fn push(&mut self, value: impl Into<Rc<Mat>>, op: Op, needs_grad: bool) -> Var {
         self.nodes.push(Node {
-            value,
+            value: value.into(),
             op,
             needs_grad,
         });
@@ -141,6 +165,14 @@ impl Graph {
     /// A non-tracking constant (data).
     pub fn constant(&mut self, value: Mat) -> Var {
         self.push(value, Op::Constant, false)
+    }
+
+    /// A non-tracking constant that aliases an existing shared matrix —
+    /// no deep copy. Use for per-step tapes over static data (features,
+    /// targets) that would otherwise be cloned every epoch.
+    pub fn constant_shared(&mut self, value: &Rc<Mat>) -> Var {
+        CONSTANT_SHARED_REUSES.fetch_add(1, Ordering::Relaxed);
+        self.push(Rc::clone(value), Op::Constant, false)
     }
 
     /// A `1×1` constant scalar.
@@ -246,7 +278,7 @@ impl Graph {
     /// Rescale each row to sum to one.
     pub fn row_normalize(&mut self, a: Var) -> Var {
         let x = &self.nodes[a.0].value;
-        let mut v = x.clone();
+        let mut v = Mat::clone(x);
         for i in 0..v.rows() {
             let s: f64 = v.row(i).iter().sum();
             if s.abs() > f64::EPSILON {
@@ -339,7 +371,7 @@ impl Graph {
         pos_weight: f64,
         norm: f64,
     ) -> Result<Var> {
-        let x = &self.nodes[logits.0].value;
+        let x: &Mat = &self.nodes[logits.0].value;
         if x.shape() != (target.rows(), target.cols()) {
             return Err(Error::Invalid("bce_logits_sparse: shape mismatch"));
         }
@@ -382,6 +414,47 @@ impl Graph {
         ))
     }
 
+    /// Fused [`Graph::gram`] + [`Graph::bce_logits_sparse`]: the GAE
+    /// reconstruction loss computed directly from the embedding `z` by the
+    /// tiled kernel in `rgae-linalg`, without materialising the N×N
+    /// logits. Loss bits match the legacy two-node path exactly; the
+    /// latent gradient is accumulated in the same pass (at unit upstream
+    /// gradient — bit-identical to the legacy backward there too) and
+    /// rescaled at backward time if the upstream gradient differs from 1.
+    ///
+    /// Peak decoder memory is O(B·N) for tile width B
+    /// (`RGAE_DECODER_TILE` / [`rgae_linalg::set_decoder_tile`]); the
+    /// legacy path stays available as the differential-test reference.
+    pub fn gram_bce_logits_sparse(
+        &mut self,
+        z: Var,
+        target: &Rc<Csr>,
+        pos_weight: f64,
+        norm: f64,
+    ) -> Result<Var> {
+        let zv = &self.nodes[z.0].value;
+        let n = zv.rows();
+        if (target.rows(), target.cols()) != (n, n) {
+            return Err(Error::Invalid("gram_bce_logits_sparse: shape mismatch"));
+        }
+        let ng = self.needs(z);
+        // The legacy backward scales by `g·norm/N²` with `g = 1` at the
+        // loss root; `1.0·norm` is exactly `norm`, so folding `norm/N²` in
+        // here keeps the gradient bits identical.
+        let grad_scale = ng.then(|| norm / ((n * n) as f64));
+        let out = rgae_linalg::gram_bce_fused(zv, target, pos_weight, norm, grad_scale)
+            .map_err(|_| Error::Invalid("gram_bce_logits_sparse: kernel shape mismatch"))?;
+        let v = Mat::full(1, 1, out.loss);
+        Ok(self.push(
+            v,
+            Op::GramBceFused {
+                z,
+                dz_unit: out.dz.map(Rc::new),
+            },
+            ng,
+        ))
+    }
+
     /// Mean BCE with logits against a constant dense target in `[0, 1]`
     /// (used for discriminator losses).
     pub fn bce_logits_dense(&mut self, logits: Var, target: &Rc<Mat>) -> Result<Var> {
@@ -389,10 +462,18 @@ impl Graph {
         if x.shape() != target.shape() {
             return Err(Error::Invalid("bce_logits_dense: shape mismatch"));
         }
-        let mut total = 0.0;
-        for (&v, &t) in x.as_slice().iter().zip(target.as_slice()) {
-            total += t * softplus(-v) + (1.0 - t) * softplus(v);
-        }
+        // Ordered fixed-width reduction: bit-identical at any thread count.
+        let (xs, ts) = (x.as_slice(), target.as_slice());
+        let total = rgae_par::timed("bce_dense_fwd", || {
+            rgae_par::par_sum_by(xs.len(), |range| {
+                let mut acc = 0.0;
+                for idx in range {
+                    let (v, t) = (xs[idx], ts[idx]);
+                    acc += t * softplus(-v) + (1.0 - t) * softplus(v);
+                }
+                acc
+            })
+        });
         let denom = (x.rows() * x.cols()) as f64;
         let v = Mat::full(1, 1, total / denom);
         let ng = self.needs(logits);
@@ -406,12 +487,19 @@ impl Graph {
         if pv.shape() != q.shape() {
             return Err(Error::Invalid("kl_div_const_q: shape mismatch"));
         }
-        let mut total = 0.0;
-        for (&pe, &qe) in pv.as_slice().iter().zip(q.as_slice()) {
-            if qe > 0.0 {
-                total += qe * (qe / pe.max(1e-12)).ln();
-            }
-        }
+        let (ps, qs) = (pv.as_slice(), q.as_slice());
+        let total = rgae_par::timed("kl_div_fwd", || {
+            rgae_par::par_sum_by(ps.len(), |range| {
+                let mut acc = 0.0;
+                for idx in range {
+                    let (pe, qe) = (ps[idx], qs[idx]);
+                    if qe > 0.0 {
+                        acc += qe * (qe / pe.max(1e-12)).ln();
+                    }
+                }
+                acc
+            })
+        });
         let v = Mat::full(1, 1, total);
         let ng = self.needs(p);
         Ok(self.push(v, Op::KlDivConstQ(p, Rc::clone(q)), ng))
@@ -425,10 +513,17 @@ impl Graph {
         if m.shape() != lv.shape() {
             return Err(Error::Invalid("gaussian_kl: shape mismatch"));
         }
-        let mut total = 0.0;
-        for (&mu_e, &lv_e) in m.as_slice().iter().zip(lv.as_slice()) {
-            total += 1.0 + lv_e - mu_e * mu_e - lv_e.exp();
-        }
+        let (ms, ls) = (m.as_slice(), lv.as_slice());
+        let total = rgae_par::timed("gaussian_kl_fwd", || {
+            rgae_par::par_sum_by(ms.len(), |range| {
+                let mut acc = 0.0;
+                for idx in range {
+                    let (mu_e, lv_e) = (ms[idx], ls[idx]);
+                    acc += 1.0 + lv_e - mu_e * mu_e - lv_e.exp();
+                }
+                acc
+            })
+        });
         let v = Mat::full(1, 1, -0.5 * total);
         let ng = self.needs(mu) || self.needs(log_var);
         Ok(self.push(v, Op::GaussianKl(mu, log_var), ng))
@@ -441,12 +536,17 @@ impl Graph {
             return Err(Error::Invalid("mse_const: shape mismatch"));
         }
         let denom = (xv.rows() * xv.cols()) as f64;
-        let total: f64 = xv
-            .as_slice()
-            .iter()
-            .zip(target.as_slice())
-            .map(|(&a, &b)| (a - b) * (a - b))
-            .sum();
+        let (xs, ts) = (xv.as_slice(), target.as_slice());
+        let total = rgae_par::timed("mse_fwd", || {
+            rgae_par::par_sum_by(xs.len(), |range| {
+                let mut acc = 0.0;
+                for idx in range {
+                    let (a, b) = (xs[idx], ts[idx]);
+                    acc += (a - b) * (a - b);
+                }
+                acc
+            })
+        });
         let v = Mat::full(1, 1, total / denom);
         let ng = self.needs(x);
         Ok(self.push(v, Op::MseConst(x, Rc::clone(target)), ng))
@@ -495,8 +595,8 @@ impl Graph {
                     // The two input gradients are independent; fork-join them.
                     // Captures are narrowed to `&Mat` (Sync) so the closures
                     // are Send despite the tape's Rc-holding nodes.
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
+                    let av: &Mat = &self.nodes[a.0].value;
+                    let bv: &Mat = &self.nodes[b.0].value;
                     let (da, db) = rgae_par::par_join(|| g.matmul_t(bv), || av.t_matmul(g));
                     self.accum(a, da?);
                     self.accum(b, db?);
@@ -731,6 +831,22 @@ impl Graph {
                         dx
                     });
                     self.accum(logits, dx);
+                }
+            }
+            Op::GramBceFused { z, dz_unit } => {
+                let (z, dz_unit) = (*z, dz_unit.clone());
+                if self.needs(z) {
+                    let du = dz_unit.ok_or(Error::NoGradient)?;
+                    let gs = g.as_slice()[0];
+                    // The forward pass baked in the unit upstream gradient;
+                    // gs == 1.0 keeps those exact bits (the training loss
+                    // roots and `recon_grad` land here).
+                    let dz = if gs == 1.0 {
+                        Mat::clone(&du)
+                    } else {
+                        du.scale(gs)
+                    };
+                    self.accum(z, dz);
                 }
             }
             Op::BceLogitsDense(logits, target) => {

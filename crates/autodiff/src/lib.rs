@@ -31,7 +31,7 @@
 mod graph;
 mod optim;
 
-pub use graph::{Graph, Var};
+pub use graph::{take_constant_reuse_count, Graph, Var};
 pub use optim::{Adam, AdamState};
 
 /// Errors surfaced by tape construction or backward passes.

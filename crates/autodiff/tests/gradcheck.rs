@@ -224,6 +224,50 @@ fn check_bce_logits_sparse_through_gram() {
 }
 
 #[test]
+fn check_gram_bce_fused() {
+    // The fused tiled decoder: loss(Z·Zᵀ) without materializing the gram.
+    let z = rand_mat(4, 2, 18);
+    let t = Rc::new(Csr::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap());
+    grad_check(&[z], move |g, v| {
+        g.gram_bce_logits_sparse(v[0], &t, 3.0, 1.2).unwrap()
+    });
+}
+
+#[test]
+fn check_gram_bce_fused_scaled_root() {
+    // γ-scaled root exercises the non-unit upstream-gradient branch of the
+    // fused backward (dZ_unit · γ).
+    let z = rand_mat(5, 3, 35);
+    let t = Rc::new(
+        Csr::from_triplets(5, 5, &[(0, 1, 1.0), (1, 0, 1.0), (3, 4, 1.0), (4, 3, 1.0)]).unwrap(),
+    );
+    grad_check(&[z], move |g, v| {
+        let recon = g.gram_bce_logits_sparse(v[0], &t, 2.0, 0.8).unwrap();
+        g.scale(recon, 0.37)
+    });
+}
+
+#[test]
+fn check_gram_bce_fused_through_encoder() {
+    // The full GAE pattern with the fused decoder on top of a GCN layer.
+    let w0 = rand_mat(3, 2, 36).scale(0.5);
+    let x = rand_mat(5, 3, 37);
+    let a = Rc::new(
+        Csr::adjacency_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .unwrap()
+            .gcn_normalized()
+            .unwrap(),
+    );
+    let t = Rc::new(Csr::adjacency_from_edges(5, &[(0, 1), (2, 3)]).unwrap());
+    grad_check(&[w0], move |g, v| {
+        let xv = g.constant(x.clone());
+        let h = g.spmm(&a, xv).unwrap();
+        let z = g.matmul(h, v[0]).unwrap();
+        g.gram_bce_logits_sparse(z, &t, 4.0, 1.0).unwrap()
+    });
+}
+
+#[test]
 fn check_bce_logits_dense() {
     let x = rand_mat(3, 2, 19);
     let t = Rc::new(Mat::from_vec(3, 2, vec![1.0, 0.0, 0.5, 1.0, 0.0, 0.25]).unwrap());

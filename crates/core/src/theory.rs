@@ -10,7 +10,7 @@
 //! Everything here works on plain matrices (no autodiff): the point is to
 //! validate the closed forms the operators and diagnostics rely on.
 
-use rgae_linalg::{softplus, Csr, Mat};
+use rgae_linalg::{gram_row_fold, gram_row_map, sigmoid, softplus, Csr, Mat};
 
 /// The graph-weighted Laplacian loss
 /// `L_C(Z, A′) = ½ Σ_{ij} a′_ij ‖z_i − z_j‖²`.
@@ -49,19 +49,19 @@ pub fn l_c_dense(z: &Mat, a: &Mat) -> f64 {
 /// The Proposition-1 remainder
 /// `L_R(Z, A^self) = Σ_{ij} [ log(1 + e^{z_iᵀz_j}) − ½ a_ij (‖z_i‖² + ‖z_j‖²) ]`.
 pub fn l_r(z: &Mat, a: &Csr) -> f64 {
-    let n = z.rows();
-    let gram = z.gram();
+    // Tiled: each gram row is materialised transiently (O(B·N) peak memory
+    // instead of a dense N×N gram) and consumed in the same pass.
     let sq = z.row_sq_norms();
-    let mut total = 0.0;
-    for i in 0..n {
-        for j in 0..n {
-            total += softplus(gram[(i, j)]);
+    gram_row_fold(z, |i, row| {
+        let mut acc = 0.0;
+        for &x in row {
+            acc += softplus(x);
         }
         for (j, w) in a.row_iter(i) {
-            total -= 0.5 * w * (sq[i] + sq[j]);
+            acc -= 0.5 * w * (sq[i] + sq[j]);
         }
-    }
-    total
+        acc
+    })
 }
 
 /// The full-sum binary cross-entropy of the inner-product decoder against a
@@ -69,22 +69,21 @@ pub fn l_r(z: &Mat, a: &Csr) -> f64 {
 /// un-normalised Proposition-1 form:
 /// `−Σ_{ij} [ a_ij log σ(z_iᵀz_j) + (1 − a_ij) log(1 − σ(z_iᵀz_j)) ]`.
 pub fn l_bce(z: &Mat, a: &Csr) -> f64 {
-    let n = z.rows();
-    let gram = z.gram();
-    let mut total = 0.0;
-    for i in 0..n {
+    // Tiled like [`l_r`]: no dense N×N gram.
+    gram_row_fold(z, |i, row| {
         // a_ij = 0 branch: −log(1 − σ(x)) = softplus(x).
-        for j in 0..n {
-            total += softplus(gram[(i, j)]);
+        let mut acc = 0.0;
+        for &x in row {
+            acc += softplus(x);
         }
         // a_ij = 1 entries: replace softplus(x) with softplus(−x).
         for (j, w) in a.row_iter(i) {
             debug_assert_eq!(w, 1.0);
-            let x = gram[(i, j)];
-            total += softplus(-x) - softplus(x);
+            let x = row[j];
+            acc += softplus(-x) - softplus(x);
         }
-    }
-    total
+        acc
+    })
 }
 
 /// The embedded k-means loss `Σ_k Σ_{i ∈ C_k} ‖z_i − μ_k‖²` with centroids
@@ -118,18 +117,24 @@ pub fn l_kmeans(z: &Mat, assign: &[usize], k: usize) -> f64 {
 /// `Σ_j (σ(z_iᵀz_j) − a_ij) z_j` (rows of the returned matrix).
 pub fn bce_grad_z(z: &Mat, a: &Csr) -> Mat {
     let n = z.rows();
-    let d = z.cols();
-    let gram = z.gram();
-    let mut grad = Mat::zeros(n, d);
-    for i in 0..n {
+    // Tiled gram rows plus a CSR merge walk (instead of per-entry `a.get`
+    // binary searches): O(B·N) memory, one pass, same values.
+    gram_row_map(z, z.cols(), |i, row, out| {
+        let mut nz = a.row_iter(i).peekable();
         for j in 0..n {
-            let coeff = rgae_linalg::sigmoid(gram[(i, j)]) - a.get(i, j);
-            for (g, &zj) in grad.row_mut(i).iter_mut().zip(z.row(j)) {
+            let aij = match nz.peek() {
+                Some(&(jj, w)) if jj == j => {
+                    nz.next();
+                    w
+                }
+                _ => 0.0,
+            };
+            let coeff = sigmoid(row[j]) - aij;
+            for (g, &zj) in out.iter_mut().zip(z.row(j)) {
                 *g += coeff * zj;
             }
         }
-    }
-    grad
+    })
 }
 
 /// Proposition 4's closed-form gradient of `L_C(Z, A^clus)` w.r.t. `z_i`:

@@ -94,6 +94,11 @@ pub struct RConfig {
     /// `Some(1)` forces the exact serial path. Results are bit-identical at
     /// any setting — this knob trades wall time only.
     pub threads: Option<usize>,
+    /// Row-tile height for the fused gram+BCE decoder kernel. `None` keeps
+    /// the process default (the `RGAE_DECODER_TILE` env var, else
+    /// [`rgae_linalg::DEFAULT_DECODER_TILE`]). Results are bit-identical at
+    /// any setting — the tile bounds peak decoder memory (O(B·N)) only.
+    pub decoder_tile: Option<usize>,
 }
 
 impl Default for RConfig {
@@ -116,6 +121,7 @@ impl Default for RConfig {
             eval_every: 1,
             snapshot_epochs: Vec::new(),
             threads: None,
+            decoder_tile: None,
         }
     }
 }
@@ -220,6 +226,11 @@ impl RConfig {
             (
                 "threads",
                 self.threads.map_or(Json::Null, |t| Json::Int(t as i64)),
+            ),
+            (
+                "decoder_tile",
+                self.decoder_tile
+                    .map_or(Json::Null, |t| Json::Int(t as i64)),
             ),
         ])
     }
@@ -885,11 +896,15 @@ impl<'a> RTrainer<'a> {
     }
 }
 
-/// Apply the run's thread override to the `rgae-par` pool (no-op when the
-/// config leaves the process default in place).
+/// Apply the run's thread override to the `rgae-par` pool and its decoder
+/// tile override to the fused gram+BCE kernel (no-op when the config leaves
+/// the process defaults in place).
 fn apply_thread_config(cfg: &RConfig) {
     if let Some(t) = cfg.threads {
         rgae_par::set_threads(Some(t));
+    }
+    if cfg.decoder_tile.is_some() {
+        rgae_linalg::set_decoder_tile(cfg.decoder_tile);
     }
 }
 
@@ -903,6 +918,10 @@ fn flush_kernel_stats(rec: &dyn Recorder) {
         rec.gauge(&format!("par_{name}_seconds"), None, stat.seconds);
     }
     rec.gauge("par_threads", None, rgae_par::threads() as f64);
+    let reuses = rgae_autodiff::take_constant_reuse_count();
+    if reuses > 0 {
+        rec.count("constant_shared_reuses", reuses);
+    }
 }
 
 /// Train the un-modified model 𝒟: pretraining, head initialisation, then

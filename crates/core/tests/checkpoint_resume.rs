@@ -419,6 +419,36 @@ fn resume_of_finished_run_fast_forwards() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The fused decoder's tile size is a pure memory knob: a run checkpointed
+/// under one tile setting and resumed under a different one still finishes
+/// bit-identically to the uninterrupted reference. (Every train step here
+/// goes through `gram_bce_logits_sparse`, so this is the kill/resume
+/// contract stated for the fused path specifically.)
+#[test]
+fn resume_is_tile_invariant_through_fused_decoder() {
+    let mut cfg = ckpt_cfg(Some(1));
+    cfg.decoder_tile = Some(64);
+    let reference = run_r(&cfg, None, &NOOP).unwrap();
+    let dir = temp_dir("r-tile");
+    let crashed = run_r(
+        &cfg,
+        Some(CheckpointOpts::new(&dir).every(7).halt_after_saves(3)),
+        &NOOP,
+    );
+    assert!(matches!(crashed, Err(Error::Halted)));
+    let mut resume_cfg = cfg.clone();
+    resume_cfg.decoder_tile = Some(512);
+    let resumed = run_r(
+        &resume_cfg,
+        Some(CheckpointOpts::new(&dir).every(7).resume(true)),
+        &NOOP,
+    )
+    .unwrap();
+    assert_r_reports_eq(&reference, &resumed, "tile 64 → 512 resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    rgae_linalg::set_decoder_tile(None);
+}
+
 /// The bookkeeping bugfixes: the final (or convergence) epoch always
 /// carries metrics whatever `eval_every` says; intermediate non-eval epochs
 /// skip the O(|E|) graph scans; the end-of-run snapshot is labelled with

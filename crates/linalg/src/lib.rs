@@ -17,10 +17,15 @@
 #![allow(clippy::needless_range_loop)]
 
 mod csr;
+mod decoder;
 mod mat;
 mod rng;
 
 pub use csr::{Csr, Triplet};
+pub use decoder::{
+    decoder_tile, fused_panel_bytes, gram_bce_fused, gram_row_fold, gram_row_map, set_decoder_tile,
+    FusedGramBce, DEFAULT_DECODER_TILE,
+};
 pub use mat::Mat;
 pub use rng::{glorot_uniform, standard_normal, uniform, Rng64};
 

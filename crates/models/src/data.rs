@@ -13,8 +13,10 @@ use rgae_linalg::{Csr, Mat};
 pub struct TrainData {
     /// The normalised filter `Ã = D̂^{-1/2}(A+I)D̂^{-1/2}`.
     pub filter: Rc<Csr>,
-    /// Node features `X` (row-normalised upstream).
-    pub features: Mat,
+    /// Node features `X` (row-normalised upstream). Shared so every
+    /// per-step tape can mount the same buffer as a constant node
+    /// ([`rgae_autodiff::Graph::constant_shared`]) without a deep copy.
+    pub features: Rc<Mat>,
     /// The original adjacency `A` — the default reconstruction target.
     pub adjacency: Rc<Csr>,
     /// `pos_weight = (N² − ΣA) / ΣA`: up-weights the rare positive entries.
@@ -47,7 +49,7 @@ impl TrainData {
         };
         TrainData {
             filter: Rc::new(graph.gcn_filter()),
-            features: graph.features().clone(),
+            features: Rc::new(graph.features().clone()),
             adjacency: Rc::new(graph.adjacency().clone()),
             pos_weight,
             norm,

@@ -170,10 +170,9 @@ impl GaeModel for Gae {
             return Ok(0.0);
         };
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
-        let s = g.gram(z);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(z, target, data.pos_weight, data.norm)?;
         let loss = g.scale(recon, spec.gamma);
         let value = g.scalar(loss);
         g.backward(loss)?;
@@ -196,10 +195,9 @@ impl GaeModel for Gae {
 
     fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
-        let s = g.gram(z);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(z, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
     }
@@ -248,14 +246,13 @@ impl Vgae {
         target: &Rc<Csr>,
         rng: Option<&mut Rng64>,
     ) -> Result<(Var, Vec<Var>)> {
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (mu, logvar, leaves) = self.enc.forward(g, &data.filter, x)?;
         let z = match rng {
             Some(r) => VarGcnEncoder::sample(g, mu, logvar, r)?,
             None => mu,
         };
-        let s = g.gram(z);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(z, target, data.pos_weight, data.norm)?;
         let kl = g.gaussian_kl(mu, logvar)?;
         let kl_scaled = g.scale(kl, 1.0 / (data.num_nodes as f64).powi(2));
         let loss = g.add(recon, kl_scaled)?;
@@ -445,10 +442,9 @@ impl GaeModel for Argae {
 
         // 2. Encoder step: reconstruction + fool-the-discriminator.
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (zv, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
-        let s = g.gram(zv);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(zv, target, data.pos_weight, data.norm)?;
         let recon = g.scale(recon, spec.gamma);
         let d_fake = self.disc.forward_frozen(&mut g, zv)?;
         let ones = Rc::new(Mat::full(data.num_nodes, 1, 1.0));
@@ -476,10 +472,9 @@ impl GaeModel for Argae {
 
     fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
-        let s = g.gram(z);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(z, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
     }
@@ -576,11 +571,10 @@ impl GaeModel for Arvgae {
         disc_step(&mut self.disc, &mut self.opt_disc, &z, rng)?;
 
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (mu, logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
         let zv = VarGcnEncoder::sample(&mut g, mu, logvar, rng)?;
-        let s = g.gram(zv);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(zv, target, data.pos_weight, data.norm)?;
         let recon = g.scale(recon, spec.gamma);
         let kl = g.gaussian_kl(mu, logvar)?;
         let kl = g.scale(kl, 1.0 / (data.num_nodes as f64).powi(2));
@@ -611,10 +605,9 @@ impl GaeModel for Arvgae {
 
     fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (mu, _logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
-        let s = g.gram(mu);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(mu, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
     }
@@ -730,7 +723,7 @@ impl GaeModel for Dgae {
             return Err(Error::Invalid("DGAE clustering not initialised"));
         }
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (z, mut leaves) = self.enc.forward(&mut g, &data.filter, x)?;
         let mut loss: Option<Var> = None;
         if let Some(ClusterStep { target, omega }) = &spec.cluster {
@@ -746,8 +739,7 @@ impl GaeModel for Dgae {
             loss = Some(kl);
         }
         if let Some(target) = &spec.recon_target {
-            let s = g.gram(z);
-            let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+            let recon = g.gram_bce_logits_sparse(z, target, data.pos_weight, data.norm)?;
             let recon = g.scale(recon, spec.gamma);
             loss = Some(match loss {
                 Some(l) => g.add(l, recon)?,
@@ -786,7 +778,7 @@ impl GaeModel for Dgae {
             return Ok(None);
         }
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
         let mu = g.constant(self.centroids.clone());
         let p = self.soft_p(&mut g, z, mu, omega)?;
@@ -800,10 +792,9 @@ impl GaeModel for Dgae {
 
     fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (z, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
-        let s = g.gram(z);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(z, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
     }
@@ -983,14 +974,13 @@ impl GaeModel for GmmVgae {
             return Err(Error::Invalid("GMM-VGAE clustering not initialised"));
         }
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (mu, logvar, mut leaves) = self.enc.forward(&mut g, &data.filter, x)?;
         let z = VarGcnEncoder::sample(&mut g, mu, logvar, rng)?;
         let kl = g.gaussian_kl(mu, logvar)?;
         let mut loss = g.scale(kl, 1.0 / (data.num_nodes as f64).powi(2));
         if let Some(target) = &spec.recon_target {
-            let s = g.gram(z);
-            let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+            let recon = g.gram_bce_logits_sparse(z, target, data.pos_weight, data.norm)?;
             let recon = g.scale(recon, spec.gamma);
             loss = g.add(loss, recon)?;
         }
@@ -1047,7 +1037,7 @@ impl GaeModel for GmmVgae {
             return Ok(None);
         }
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (mu, _logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
         let means = g.constant(self.mix_means.clone());
         let logvars = g.constant(self.mix_logvars.clone());
@@ -1058,10 +1048,9 @@ impl GaeModel for GmmVgae {
 
     fn recon_grad(&self, data: &TrainData, target: &Rc<Csr>) -> Result<Vec<f64>> {
         let mut g = Graph::new();
-        let x = g.constant(data.features.clone());
+        let x = g.constant_shared(&data.features);
         let (mu, _logvar, leaves) = self.enc.forward(&mut g, &data.filter, x)?;
-        let s = g.gram(mu);
-        let recon = g.bce_logits_sparse(s, target, data.pos_weight, data.norm)?;
+        let recon = g.gram_bce_logits_sparse(mu, target, data.pos_weight, data.norm)?;
         g.backward(recon)?;
         Ok(flatten(&grads_or_zero(&g, &leaves)))
     }

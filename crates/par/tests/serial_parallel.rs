@@ -178,6 +178,123 @@ proptest! {
         }
     }
 
+    /// Fused tiled decoder vs the legacy three-pass gram → BCE → matmul
+    /// chain: with a unit upstream gradient (the shape `recon_grad` and the
+    /// pretraining loss root use) both the loss and dZ must be bit-for-bit
+    /// identical, at every thread count.
+    #[test]
+    fn fused_decoder_bitwise_matches_legacy(
+        (n, d) in (2usize..24, 1usize..8),
+        seed in 0u64..1_000_000,
+    ) {
+        let z0 = mat_from(seed, n, d);
+        let adj = std::rc::Rc::new(csr_from(seed ^ 0xAAAA, n, n));
+        let legacy = || {
+            let mut g = rgae_autodiff::Graph::new();
+            let z = g.leaf(z0.clone());
+            let s = g.gram(z);
+            let loss = g.bce_logits_sparse(s, &adj, 3.0, 0.7).expect("shapes agree");
+            g.backward(loss).expect("scalar root");
+            (g.value(loss).as_slice()[0], g.grad(z).expect("leaf grad").clone())
+        };
+        let fused = || {
+            let mut g = rgae_autodiff::Graph::new();
+            let z = g.leaf(z0.clone());
+            let loss = g
+                .gram_bce_logits_sparse(z, &adj, 3.0, 0.7)
+                .expect("shapes agree");
+            g.backward(loss).expect("scalar root");
+            (g.value(loss).as_slice()[0], g.grad(z).expect("leaf grad").clone())
+        };
+        for t in [1usize, 2, 8] {
+            let (loss_l, grad_l) = rgae_par::with_threads(t, legacy);
+            let (loss_f, grad_f) = rgae_par::with_threads(t, fused);
+            prop_assert_eq!(loss_f.to_bits(), loss_l.to_bits(), "loss bits, threads={}", t);
+            prop_assert_eq!(bits(&grad_f), bits(&grad_l), "dZ bits, threads={}", t);
+        }
+    }
+
+    /// γ-scaled loss roots: the fused backward scales the precomputed unit
+    /// dZ by γ *after* the row sums (legacy folds γ into each coefficient
+    /// before summing), so dZ bits may differ by rounding — values must
+    /// agree to ≤1e-12 relative. The loss itself stays bit-identical.
+    #[test]
+    fn fused_decoder_gamma_scaled_close(
+        (n, d) in (2usize..20, 1usize..6),
+        seed in 0u64..1_000_000,
+    ) {
+        let z0 = mat_from(seed, n, d);
+        let adj = std::rc::Rc::new(csr_from(seed ^ 0xBBBB, n, n));
+        let gamma = 0.37;
+        let run = |fused: bool| {
+            let mut g = rgae_autodiff::Graph::new();
+            let z = g.leaf(z0.clone());
+            let recon = if fused {
+                g.gram_bce_logits_sparse(z, &adj, 3.0, 0.7).expect("shapes agree")
+            } else {
+                let s = g.gram(z);
+                g.bce_logits_sparse(s, &adj, 3.0, 0.7).expect("shapes agree")
+            };
+            let loss = g.scale(recon, gamma);
+            g.backward(loss).expect("scalar root");
+            (g.value(loss).as_slice()[0], g.grad(z).expect("leaf grad").clone())
+        };
+        let (loss_l, grad_l) = run(false);
+        let (loss_f, grad_f) = run(true);
+        prop_assert_eq!(loss_f.to_bits(), loss_l.to_bits(), "γ-scaled loss bits");
+        for (a, b) in grad_f.as_slice().iter().zip(grad_l.as_slice()) {
+            prop_assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                "γ-scaled dZ {} vs {}", a, b
+            );
+        }
+    }
+
+    /// The scalar-loss forwards (`bce_logits_dense`, `kl_div_const_q`,
+    /// `gaussian_kl`, `mse_const`) now run through ordered `par_sum_by`
+    /// reductions: loss and gradient bits must not depend on thread count.
+    #[test]
+    fn scalar_losses_bitwise_equal(
+        (r, c) in (1usize..40, 1usize..16),
+        seed in 0u64..1_000_000,
+    ) {
+        use std::rc::Rc;
+        let x0 = mat_from(seed, r, c);
+        let mu0 = mat_from(seed ^ 0xCCCC, r, c);
+        // Keep log-variances tame so exp() stays finite.
+        let lv0 = mat_from(seed ^ 0xDDDD, r, c).map(|v| (v * 0.1).clamp(-5.0, 5.0));
+        let t0 = Rc::new(mat_from(seed ^ 0xEEEE, r, c).map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        let q0 = Rc::new(mat_from(seed ^ 0xFFFF, r, c).map(|v| v.abs() + 0.01));
+        let run = || {
+            let mut g = rgae_autodiff::Graph::new();
+            let x = g.leaf(x0.clone());
+            let mu = g.leaf(mu0.clone());
+            let lv = g.leaf(lv0.clone());
+            let bce = g.bce_logits_dense(x, &t0).expect("shapes agree");
+            let kl = g.kl_div_const_q(x, &q0).expect("shapes agree");
+            let gkl = g.gaussian_kl(mu, lv).expect("shapes agree");
+            let mse = g.mse_const(x, &t0).expect("shapes agree");
+            let s1 = g.add(bce, kl).expect("scalars");
+            let s2 = g.add(gkl, mse).expect("scalars");
+            let loss = g.add(s1, s2).expect("scalars");
+            g.backward(loss).expect("scalar root");
+            (
+                [bce, kl, gkl, mse].map(|v| g.value(v).as_slice()[0].to_bits()),
+                g.grad(x).expect("x grad").clone(),
+                g.grad(mu).expect("mu grad").clone(),
+                g.grad(lv).expect("lv grad").clone(),
+            )
+        };
+        let (vals_ref, gx_ref, gm_ref, gl_ref) = rgae_par::with_threads(1, run);
+        for t in &THREADS[1..] {
+            let (vals, gx, gm, gl) = rgae_par::with_threads(*t, run);
+            prop_assert_eq!(vals, vals_ref, "loss bits, threads={}", t);
+            prop_assert_eq!(bits(&gx), bits(&gx_ref), "x grad bits, threads={}", t);
+            prop_assert_eq!(bits(&gm), bits(&gm_ref), "mu grad bits, threads={}", t);
+            prop_assert_eq!(bits(&gl), bits(&gl_ref), "lv grad bits, threads={}", t);
+        }
+    }
+
     /// Full k-means runs (seeding draws + Lloyd + re-seed + inertia) are
     /// bit-identical: same assignments, centroid bits, and inertia bits.
     #[test]
@@ -259,6 +376,40 @@ fn degenerate_shapes_bitwise_equal() {
     let x = mat_from(11, 5, 3);
     assert_mat_invariant("empty spmm", || empty.spmm(&x).expect("shapes"));
     assert_mat_invariant("empty t_spmm", || empty.t_spmm(&x).expect("shapes"));
+}
+
+/// The decoder tile bounds peak memory only: fused loss and dZ bits are
+/// invariant to the tile override, exercised here through the autodiff op
+/// (the linalg unit tests cover the raw kernel).
+#[test]
+fn fused_decoder_bits_invariant_to_tile() {
+    let z0 = mat_from(31, 300, 5);
+    let adj = std::rc::Rc::new(csr_from(32, 300, 300));
+    let run = || {
+        let mut g = rgae_autodiff::Graph::new();
+        let z = g.leaf(z0.clone());
+        let loss = g
+            .gram_bce_logits_sparse(z, &adj, 2.0, 0.6)
+            .expect("shapes agree");
+        g.backward(loss).expect("scalar root");
+        (
+            g.value(loss).as_slice()[0],
+            g.grad(z).expect("leaf grad").clone(),
+        )
+    };
+    rgae_linalg::set_decoder_tile(None);
+    let (loss_ref, grad_ref) = run();
+    for tile in [1, 256, 300, 512, 100_000] {
+        rgae_linalg::set_decoder_tile(Some(tile));
+        let (loss_t, grad_t) = run();
+        assert_eq!(
+            loss_t.to_bits(),
+            loss_ref.to_bits(),
+            "loss bits, tile={tile}"
+        );
+        assert_eq!(bits(&grad_t), bits(&grad_ref), "dZ bits, tile={tile}");
+    }
+    rgae_linalg::set_decoder_tile(None);
 }
 
 /// The ordered reduction itself: chunk decomposition depends only on the

@@ -1,0 +1,163 @@
+//! Fused-vs-legacy decoder bench: times the tiled one-pass gram+BCE kernel
+//! against the legacy three-pass chain (`mat_gram` → `bce_sparse_fwd` →
+//! `bce_sparse_bwd` → gram-backward `mat_matmul`) on the cora-like preset,
+//! verifies the two paths produce bit-identical losses and gradients, and
+//! writes `BENCH_decoder.json` at the workspace root (kernel seconds plus
+//! estimated peak decoder bytes for each path).
+//!
+//! Run with `cargo bench -p rgae-xp --bench bench_decoder`. Knobs:
+//! `BENCH_DECODER_SCALE` (cora-like size multiplier, default 1.0) and
+//! `RGAE_DECODER_TILE` (fused row-tile height).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rgae_autodiff::Graph;
+use rgae_datasets::presets::cora_like;
+use rgae_linalg::{Csr, Mat, Rng64};
+use rgae_models::TrainData;
+use rgae_obs::Json;
+
+const WARMUP_ROUNDS: usize = 2;
+const TIMED_ROUNDS: usize = 10;
+const LATENT_DIM: usize = 16;
+
+/// The kernels the legacy path spends its decoder time in. `Mat::add` and
+/// `Mat::transpose` in the gram backward are untimed, so the legacy total
+/// is a slight *underestimate* — the honest direction for a speedup claim.
+const LEGACY_KERNELS: [&str; 4] = ["mat_gram", "bce_sparse_fwd", "bce_sparse_bwd", "mat_matmul"];
+
+fn legacy_round(z: &Mat, t: &Rc<Csr>, pw: f64, norm: f64) -> (u64, Vec<u64>) {
+    let mut g = Graph::new();
+    let zv = g.leaf(z.clone());
+    let s = g.gram(zv);
+    let loss = g.bce_logits_sparse(s, t, pw, norm).unwrap();
+    g.backward(loss).unwrap();
+    (
+        g.scalar(loss).to_bits(),
+        g.grad(zv)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+    )
+}
+
+fn fused_round(z: &Mat, t: &Rc<Csr>, pw: f64, norm: f64) -> (u64, Vec<u64>) {
+    let mut g = Graph::new();
+    let zv = g.leaf(z.clone());
+    let loss = g.gram_bce_logits_sparse(zv, t, pw, norm).unwrap();
+    g.backward(loss).unwrap();
+    (
+        g.scalar(loss).to_bits(),
+        g.grad(zv)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+    )
+}
+
+/// Run `round` TIMED_ROUNDS times; return (wall seconds/round, kernel table).
+fn timed(round: impl Fn() -> (u64, Vec<u64>)) -> (f64, Vec<(&'static str, rgae_par::KernelStat)>) {
+    for _ in 0..WARMUP_ROUNDS {
+        round();
+    }
+    let _ = rgae_par::take_kernel_stats();
+    let start = Instant::now();
+    for _ in 0..TIMED_ROUNDS {
+        round();
+    }
+    let secs = start.elapsed().as_secs_f64() / TIMED_ROUNDS as f64;
+    (secs, rgae_par::take_kernel_stats())
+}
+
+fn kernel_seconds(stats: &[(&'static str, rgae_par::KernelStat)], names: &[&str]) -> f64 {
+    stats
+        .iter()
+        .filter(|(n, _)| names.contains(n))
+        .map(|(_, s)| s.seconds)
+        .sum::<f64>()
+        / TIMED_ROUNDS as f64
+}
+
+fn main() {
+    let scale: f64 = std::env::var("BENCH_DECODER_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let graph = cora_like(scale, 1).unwrap();
+    let data = TrainData::from_graph(&graph);
+    let n = data.num_nodes;
+    let mut rng = Rng64::seed_from_u64(7);
+    let z = rgae_linalg::standard_normal(n, LATENT_DIM, &mut rng);
+    let t = Rc::clone(&data.adjacency);
+    let (pw, norm) = (data.pos_weight, data.norm);
+
+    eprintln!("bench_decoder: N={n}, d={LATENT_DIM}, {TIMED_ROUNDS} rounds per path…");
+    let (legacy_wall, legacy_stats) = timed(|| legacy_round(&z, &t, pw, norm));
+    let (fused_wall, fused_stats) = timed(|| fused_round(&z, &t, pw, norm));
+
+    let legacy_secs = kernel_seconds(&legacy_stats, &LEGACY_KERNELS);
+    let fused_secs = kernel_seconds(&fused_stats, &["fused_gram_bce_fwd_bwd"]);
+    let speedup = legacy_secs / fused_secs;
+
+    // Peak transient decoder memory: the legacy backward holds the logits,
+    // the BCE gradient, and its transpose as live N×N buffers; the fused
+    // kernel holds one B×N panel plus the N×d gradient accumulator.
+    let legacy_bytes = 3 * n * n * 8;
+    let fused_bytes = rgae_linalg::fused_panel_bytes(n) + n * LATENT_DIM * 8;
+
+    let (loss_l, grad_l) = legacy_round(&z, &t, pw, norm);
+    let (loss_f, grad_f) = fused_round(&z, &t, pw, norm);
+    let identical = loss_l == loss_f && grad_l == grad_f;
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("bench_decoder".into())),
+        (
+            "dataset".into(),
+            Json::Str(format!("cora-like({scale}, seed 1)")),
+        ),
+        ("num_nodes".into(), Json::Int(n as i64)),
+        ("latent_dim".into(), Json::Int(LATENT_DIM as i64)),
+        ("timed_rounds".into(), Json::Int(TIMED_ROUNDS as i64)),
+        (
+            "decoder_tile".into(),
+            Json::Int(rgae_linalg::decoder_tile() as i64),
+        ),
+        (
+            "legacy".into(),
+            Json::Obj(vec![
+                ("wall_seconds_per_round".into(), Json::Num(legacy_wall)),
+                ("kernel_seconds_per_round".into(), Json::Num(legacy_secs)),
+                ("peak_decoder_bytes".into(), Json::Int(legacy_bytes as i64)),
+            ]),
+        ),
+        (
+            "fused".into(),
+            Json::Obj(vec![
+                ("wall_seconds_per_round".into(), Json::Num(fused_wall)),
+                ("kernel_seconds_per_round".into(), Json::Num(fused_secs)),
+                ("peak_decoder_bytes".into(), Json::Int(fused_bytes as i64)),
+            ]),
+        ),
+        ("kernel_speedup".into(), Json::Num(speedup)),
+        ("wall_speedup".into(), Json::Num(legacy_wall / fused_wall)),
+        (
+            "memory_ratio".into(),
+            Json::Num(legacy_bytes as f64 / fused_bytes as f64),
+        ),
+        ("bit_identical".into(), Json::Bool(identical)),
+    ]);
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decoder.json");
+    std::fs::write(out, format!("{}\n", report.encode())).unwrap();
+    println!(
+        "bench_decoder: legacy {legacy_secs:.4}s fused {fused_secs:.4}s per round \
+         (kernel seconds), speedup {speedup:.2}x, memory {legacy_bytes} -> {fused_bytes} bytes, \
+         bit_identical={identical} -> {out}"
+    );
+    assert!(identical, "fused decoder diverged from the legacy path");
+}

@@ -88,11 +88,38 @@ fn bench_bce_forward_backward(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fused_decoder(c: &mut Criterion) {
+    // Fused tiled gram+BCE (loss + dZ in one pass, O(B·N) memory) against
+    // the legacy three-pass chain benched above.
+    let mut group = c.benchmark_group("fused_gram_bce");
+    group.sample_size(20);
+    let mut rng = Rng64::seed_from_u64(4);
+    for n in [250usize, 500] {
+        let z = rgae_linalg::standard_normal(n, 16, &mut rng);
+        let mut edges = Vec::new();
+        for _ in 0..4 * n {
+            edges.push((rng.index(n), rng.index(n)));
+        }
+        let t = Rc::new(Csr::adjacency_from_edges(n, &edges).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let zv = g.leaf(z.clone());
+                let loss = g.gram_bce_logits_sparse(zv, &t, 10.0, 0.5).unwrap();
+                g.backward(loss).unwrap();
+                g.grad(zv).unwrap().frob_norm()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
     bench_spmm,
     bench_gram_decoder,
-    bench_bce_forward_backward
+    bench_bce_forward_backward,
+    bench_fused_decoder
 );
 criterion_main!(benches);
