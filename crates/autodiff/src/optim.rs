@@ -1,6 +1,30 @@
 //! The Adam optimiser.
 
 use rgae_linalg::Mat;
+use std::cell::Cell;
+
+thread_local! {
+    /// Deterministic fault-injection hook: while armed, every
+    /// [`Adam::update`] treats its gradient as non-finite.
+    static GRAD_POISON: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arm the gradient-poison fault hook for the current thread: until
+/// [`disarm_grad_poison`], every [`Adam::update`] skips its parameter update
+/// and counts it as a non-finite-gradient step — exactly the code path a real
+/// NaN gradient would take, without having to manufacture one numerically.
+pub fn arm_grad_poison() {
+    GRAD_POISON.with(|c| c.set(true));
+}
+
+/// Disarm the hook armed by [`arm_grad_poison`].
+pub fn disarm_grad_poison() {
+    GRAD_POISON.with(|c| c.set(false));
+}
+
+fn grad_poison_armed() -> bool {
+    GRAD_POISON.with(|c| c.get())
+}
 
 /// The persistable part of an [`Adam`] optimiser: the shared timestep and
 /// the first/second moment buffer per registered slot. Hyper-parameters
@@ -31,6 +55,10 @@ pub struct Adam {
     t: u64,
     m: Vec<Mat>,
     v: Vec<Mat>,
+    /// Updates skipped because the gradient contained a non-finite value.
+    /// Observability-only: deliberately not part of [`AdamState`], so
+    /// checkpoint formats are unchanged and restored runs restart the count.
+    nonfinite_skips: u64,
 }
 
 impl Adam {
@@ -45,7 +73,15 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            nonfinite_skips: 0,
         }
+    }
+
+    /// Number of [`Adam::update`] calls skipped because their gradient was
+    /// non-finite (or the fault-injection hook was armed). Monotone over the
+    /// optimiser's lifetime; not persisted in [`AdamState`].
+    pub fn nonfinite_grad_steps(&self) -> u64 {
+        self.nonfinite_skips
     }
 
     /// Builder: decoupled weight decay (AdamW style).
@@ -116,10 +152,19 @@ impl Adam {
     }
 
     /// Apply one Adam update to `param` for registered `slot` given `grad`.
+    ///
+    /// A gradient containing any non-finite value skips the update entirely
+    /// — the parameter and both moment buffers are left untouched, so one
+    /// poisoned backward pass can never write NaN into the optimiser state —
+    /// and increments [`Adam::nonfinite_grad_steps`].
     pub fn update(&mut self, slot: usize, param: &mut Mat, grad: &Mat) {
         assert!(self.t > 0, "call begin_step() before update()");
         assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
         assert_eq!(param.shape(), self.m[slot].shape(), "slot shape mismatch");
+        if grad_poison_armed() || grad.as_slice().iter().any(|g| !g.is_finite()) {
+            self.nonfinite_skips += 1;
+            return;
+        }
         let b1 = self.beta1;
         let b2 = self.beta2;
         let bc1 = 1.0 - b1.powi(self.t as i32);
@@ -191,6 +236,56 @@ mod tests {
         adam.begin_step();
         adam.update(slot, &mut p, &grad);
         assert!(p[(0, 0)] < 1.0);
+    }
+
+    #[test]
+    fn nonfinite_grad_skips_update_and_counts() {
+        let mut adam = Adam::new(0.1);
+        let slot = adam.register((1, 2));
+        let mut p = Mat::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        adam.begin_step();
+        adam.update(
+            slot,
+            &mut p,
+            &Mat::from_vec(1, 2, vec![f64::NAN, 1.0]).unwrap(),
+        );
+        assert_eq!(p.as_slice(), &[1.0, 2.0], "param untouched");
+        assert_eq!(adam.nonfinite_grad_steps(), 1);
+        let st = adam.export_state();
+        assert!(
+            st.m[0].as_slice().iter().all(|&x| x == 0.0),
+            "moments untouched"
+        );
+        assert!(st.v[0].as_slice().iter().all(|&x| x == 0.0));
+
+        // A later finite gradient updates normally, from clean moments.
+        adam.begin_step();
+        adam.update(slot, &mut p, &Mat::from_vec(1, 2, vec![1.0, -1.0]).unwrap());
+        assert!(p[(0, 0)] < 1.0 && p[(0, 1)] > 2.0);
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        assert_eq!(adam.nonfinite_grad_steps(), 1, "finite steps don't count");
+
+        adam.begin_step();
+        adam.update(slot, &mut p, &Mat::full(1, 2, f64::INFINITY));
+        assert_eq!(adam.nonfinite_grad_steps(), 2);
+    }
+
+    #[test]
+    fn grad_poison_hook_forces_the_skip_path() {
+        let mut adam = Adam::new(0.1);
+        let slot = adam.register((1, 1));
+        let mut p = Mat::full(1, 1, 3.0);
+        let finite_grad = Mat::full(1, 1, 1.0);
+        arm_grad_poison();
+        adam.begin_step();
+        adam.update(slot, &mut p, &finite_grad);
+        disarm_grad_poison();
+        assert_eq!(p[(0, 0)], 3.0, "poisoned step must not move params");
+        assert_eq!(adam.nonfinite_grad_steps(), 1);
+
+        adam.begin_step();
+        adam.update(slot, &mut p, &finite_grad);
+        assert!(p[(0, 0)] < 3.0, "disarmed optimiser works again");
     }
 
     #[test]

@@ -174,6 +174,23 @@ impl ModelState {
         self.adams.iter().find(|(k, _)| k == key).map(|(_, a)| a)
     }
 
+    /// `true` when every stored numeric value — matrices, vectors, scalars,
+    /// and optimiser moment buffers — is finite. The guard layer runs this
+    /// over each epoch's exported state; one NaN anywhere fails the scan.
+    pub fn all_finite(&self) -> bool {
+        let mat_ok = |m: &Mat| m.as_slice().iter().all(|x| x.is_finite());
+        self.mats.iter().all(|(_, m)| mat_ok(m))
+            && self
+                .vecs
+                .iter()
+                .all(|(_, v)| v.iter().all(|x| x.is_finite()))
+            && self.nums.iter().all(|(_, x)| x.is_finite())
+            && self
+                .adams
+                .iter()
+                .all(|(_, a)| a.m.iter().all(mat_ok) && a.v.iter().all(mat_ok))
+    }
+
     /// Serialise into a writer.
     pub fn encode(&self, w: &mut ByteWriter) {
         w.put_str(&self.name);
@@ -257,6 +274,50 @@ mod tests {
         for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn all_finite_catches_nan_in_every_field_kind() {
+        let clean = || {
+            let mut st = ModelState::new("gae");
+            st.push_mat("w", Mat::full(2, 2, 0.5));
+            st.push_vec("bias", vec![1.0, -2.0]);
+            st.push_num("tau", 0.25);
+            st.push_flag("init", true);
+            st.push_adam(
+                "opt",
+                AdamState {
+                    t: 3,
+                    m: vec![Mat::full(2, 2, 0.1)],
+                    v: vec![Mat::full(2, 2, 0.01)],
+                },
+            );
+            st
+        };
+        assert!(clean().all_finite());
+
+        let mut st = clean();
+        st.push_mat("bad", Mat::full(1, 1, f64::NAN));
+        assert!(!st.all_finite());
+
+        let mut st = clean();
+        st.push_vec("bad", vec![f64::INFINITY]);
+        assert!(!st.all_finite());
+
+        let mut st = clean();
+        st.push_num("bad", f64::NEG_INFINITY);
+        assert!(!st.all_finite());
+
+        let mut st = clean();
+        st.push_adam(
+            "bad",
+            AdamState {
+                t: 1,
+                m: vec![Mat::full(1, 1, f64::NAN)],
+                v: vec![Mat::full(1, 1, 0.0)],
+            },
+        );
+        assert!(!st.all_finite());
     }
 
     #[test]

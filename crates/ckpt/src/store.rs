@@ -112,9 +112,39 @@ impl CheckpointStore {
         self.dir.join("state.prev.rgck")
     }
 
+    /// Path of the last checkpoint generation tagged healthy by the guard
+    /// layer (a copy of the latest made after its state passed every
+    /// numerical-health check).
+    pub fn healthy_path(&self) -> PathBuf {
+        self.dir.join("state.healthy.rgck")
+    }
+
     /// Candidate files for loading, newest first.
     pub fn candidates(&self) -> [PathBuf; 2] {
         [self.latest_path(), self.prev_path()]
+    }
+
+    /// Candidate files for a guard rollback, in preference order: the
+    /// latest save, the healthy-tagged generation, then the previous
+    /// generation. Rollback only ever targets states saved on healthy
+    /// epochs, so `latest` is normally the freshest usable state; the
+    /// healthy tag is the CRC fallback when `latest` was corrupted on disk
+    /// after being written.
+    pub fn recovery_candidates(&self) -> [PathBuf; 3] {
+        [self.latest_path(), self.healthy_path(), self.prev_path()]
+    }
+
+    /// Tag the current latest generation as healthy: copy it to
+    /// [`CheckpointStore::healthy_path`] through a sibling tmp + `rename`,
+    /// so a crash mid-copy can't clobber the previous healthy tag.
+    pub fn tag_healthy(&self) -> Result<PathBuf> {
+        let healthy = self.healthy_path();
+        let mut tmp_name = healthy.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        fs::copy(self.latest_path(), &tmp)?;
+        fs::rename(&tmp, &healthy)?;
+        Ok(healthy)
     }
 
     /// Save a payload: rotate the current latest to `prev`, then atomically
@@ -221,6 +251,33 @@ mod tests {
         // Corrupt both: loader reports nothing usable (but no panic/crash).
         fs::write(store.prev_path(), b"garbage").unwrap();
         assert!(store.load_best().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn healthy_tag_copies_latest_and_survives_rotation() {
+        let dir = tmp_dir("healthy");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(b"gen1").unwrap();
+        store.tag_healthy().unwrap();
+        assert_eq!(read_checkpoint(&store.healthy_path()).unwrap(), b"gen1");
+        assert!(!dir.join("state.healthy.rgck.tmp").exists());
+
+        // Newer unhealthy saves rotate latest/prev but leave the tag alone.
+        store.save(b"gen2").unwrap();
+        store.save(b"gen3").unwrap();
+        assert_eq!(read_checkpoint(&store.healthy_path()).unwrap(), b"gen1");
+
+        // A corrupt latest falls back to the healthy tag in recovery order.
+        let mut bytes = fs::read(store.latest_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(store.latest_path(), &bytes).unwrap();
+        let usable = store
+            .recovery_candidates()
+            .into_iter()
+            .find_map(|p| read_checkpoint(&p).ok());
+        assert_eq!(usable.unwrap(), b"gen1");
         let _ = fs::remove_dir_all(&dir);
     }
 

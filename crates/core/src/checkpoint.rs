@@ -153,6 +153,9 @@ pub struct TrainerState {
     pub(crate) snapshots: Vec<(usize, Mat, Option<Csr>)>,
     /// Clustering-phase wall-clock seconds accumulated before the save.
     pub(crate) elapsed_seconds: f64,
+    /// The guard recovery policy ran out of retries and the run finished on
+    /// last-good parameters (phase `Done` only).
+    pub(crate) degraded: bool,
 }
 
 impl TrainerState {
@@ -172,6 +175,7 @@ impl TrainerState {
             epochs: Vec::new(),
             snapshots: Vec::new(),
             elapsed_seconds: 0.0,
+            degraded: false,
         }
     }
 
@@ -234,6 +238,7 @@ impl TrainerState {
             }
         }
         w.put_f64(self.elapsed_seconds);
+        w.put_bool(self.degraded);
         w.into_bytes()
     }
 
@@ -289,6 +294,7 @@ impl TrainerState {
             snapshots.push((epoch, z, a));
         }
         let elapsed_seconds = r.get_f64()?;
+        let degraded = r.get_bool()?;
         if !r.is_done() {
             return Err(CkptError::Corrupt("trailing bytes after trainer state"));
         }
@@ -306,6 +312,7 @@ impl TrainerState {
             epochs,
             snapshots,
             elapsed_seconds,
+            degraded,
         })
     }
 
@@ -515,25 +522,87 @@ impl<'a> Saver<'a> {
         if !self.opts.resume {
             return None;
         }
+        self.load_candidates(&self.store.candidates(), variant, "loaded")
+    }
+
+    /// Tag the just-written latest generation as healthy: the guard layer
+    /// verified the saved state before calling [`Saver::save`], so this copy
+    /// survives later rotations as a rollback target even if newer saves are
+    /// corrupted on disk.
+    pub fn mark_healthy(&self, state: &TrainerState) -> Result<()> {
+        let path = self
+            .store
+            .tag_healthy()
+            .map_err(|e| Error::Checkpoint(format!("tag healthy: {e}")))?;
+        self.emit(
+            "healthy",
+            &path,
+            state.phase.name(),
+            state.phase.next_epoch(),
+        );
+        Ok(())
+    }
+
+    /// Load the best state for a guard rollback, regardless of the resume
+    /// flag: the latest save first (rollback targets are only ever written
+    /// on healthy epochs), then the healthy-tagged generation, then the
+    /// previous one. `None` when nothing usable is on disk — the trainer
+    /// then falls back to its in-memory last-good snapshot.
+    pub fn load_for_rollback(&self, variant: u8) -> Option<TrainerState> {
+        self.load_candidates(&self.store.recovery_candidates(), variant, "rollback")
+    }
+
+    fn load_candidates(
+        &self,
+        candidates: &[PathBuf],
+        variant: u8,
+        first_action: &str,
+    ) -> Option<TrainerState> {
         let mut rejected = 0;
-        for path in self.store.candidates() {
+        for path in candidates {
             if !path.exists() {
                 continue;
             }
-            let state = rgae_ckpt::read_checkpoint(&path)
-                .and_then(|payload| TrainerState::decode(&payload));
+            let state =
+                rgae_ckpt::read_checkpoint(path).and_then(|payload| TrainerState::decode(&payload));
             match state {
                 Ok(st) if st.variant == variant => {
-                    let action = if rejected == 0 { "loaded" } else { "fallback" };
-                    self.emit(action, &path, st.phase.name(), st.phase.next_epoch());
+                    let action = if rejected == 0 {
+                        first_action
+                    } else {
+                        "fallback"
+                    };
+                    self.emit(action, path, st.phase.name(), st.phase.next_epoch());
                     return Some(st);
                 }
                 Ok(_) | Err(_) => {
-                    self.emit("corrupt", &path, "unknown", None);
+                    self.emit("corrupt", path, "unknown", None);
                     rejected += 1;
                 }
             }
         }
         None
+    }
+
+    /// Fault injection: flip one byte of the latest on-disk generation, at
+    /// an offset derived deterministically from `salt` via [`Rng64`].
+    /// Returns whether a file was actually damaged (there may be none yet).
+    pub fn corrupt_latest(&self, salt: u64) -> Result<bool> {
+        let path = self.store.latest_path();
+        if !path.exists() {
+            return Ok(false);
+        }
+        let io = |e: std::io::Error| Error::Checkpoint(format!("corrupt fault: {e}"));
+        let mut bytes = std::fs::read(&path).map_err(io)?;
+        if bytes.is_empty() {
+            return Ok(false);
+        }
+        let mut rng = Rng64::seed_from_u64(salt ^ 0xFA_17_FA_17);
+        let offset = rng.index(bytes.len());
+        bytes[offset] ^= 0xFF;
+        // Deliberately a plain in-place write: this simulates bit rot on a
+        // fully-written file, not a torn write.
+        std::fs::write(&path, &bytes).map_err(io)?;
+        Ok(true)
     }
 }

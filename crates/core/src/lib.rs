@@ -46,6 +46,9 @@ pub use trainer::{
 };
 pub use upsilon::{upsilon, UpsilonConfig, UpsilonOutcome};
 pub use xi::{xi, Omega, XiConfig};
+// The guard layer's configuration surface, re-exported so trainer callers
+// can fill `RConfig::guard` without depending on `rgae-guard` directly.
+pub use rgae_guard::{FaultKind, FaultSpec, GuardConfig};
 
 /// Errors from the R-GAE pipeline.
 #[derive(Debug)]

@@ -25,10 +25,15 @@
 
 use std::rc::Rc;
 
+use rgae_autodiff::{arm_grad_poison, disarm_grad_poison};
 use rgae_cluster::accuracy;
 use rgae_graph::{AttributedGraph, GraphStats};
+use rgae_guard::{
+    emit_finding, FaultKind, FaultPlan, Finding, GuardConfig, HealthMonitor, RecoveryPolicy,
+    RetryPlan, Severity,
+};
 use rgae_linalg::{Csr, Rng64};
-use rgae_models::{ClusterStep, GaeModel, StepSpec, TrainData};
+use rgae_models::{ClusterStep, GaeModel, ModelState, StepSpec, TrainData};
 use rgae_obs::{span, EpochEvent, Event, Recorder, RunSummary, NOOP};
 
 use crate::checkpoint::{CheckpointOpts, Phase, Saver, TrainerState, VARIANT_PLAIN, VARIANT_R};
@@ -99,6 +104,11 @@ pub struct RConfig {
     /// [`rgae_linalg::DEFAULT_DECODER_TILE`]). Results are bit-identical at
     /// any setting — the tile bounds peak decoder memory (O(B·N)) only.
     pub decoder_tile: Option<usize>,
+    /// Numerical-health monitoring + checkpoint-rollback recovery. `None`
+    /// (the default) disables the guard layer entirely; with it enabled a
+    /// fault-free run is still bit-identical to a guards-off run — the
+    /// checks never consume the RNG stream or reorder any computation.
+    pub guard: Option<GuardConfig>,
 }
 
 impl Default for RConfig {
@@ -122,6 +132,7 @@ impl Default for RConfig {
             snapshot_epochs: Vec::new(),
             threads: None,
             decoder_tile: None,
+            guard: None,
         }
     }
 }
@@ -232,6 +243,26 @@ impl RConfig {
                 self.decoder_tile
                     .map_or(Json::Null, |t| Json::Int(t as i64)),
             ),
+            (
+                "guard",
+                self.guard.as_ref().map_or(Json::Null, |g| {
+                    obj(vec![
+                        ("spike_factor", Json::Num(g.spike_factor)),
+                        ("spike_window", Json::Int(g.spike_window as i64)),
+                        ("spike_min_history", Json::Int(g.spike_min_history as i64)),
+                        ("collapse_floor", Json::Num(g.collapse_floor)),
+                        ("omega_floor", Json::Num(g.omega_floor)),
+                        ("check_params", Json::Bool(g.check_params)),
+                        ("snapshot_every", Json::Int(g.snapshot_every as i64)),
+                        ("max_retries", Json::Int(g.max_retries as i64)),
+                        ("lr_backoff", Json::Num(g.lr_backoff)),
+                        (
+                            "faults",
+                            Json::Arr(g.faults.iter().map(|f| Json::Str(f.to_string())).collect()),
+                        ),
+                    ])
+                }),
+            ),
         ])
     }
 
@@ -321,6 +352,9 @@ pub struct RReport {
     pub final_graph: Rc<Csr>,
     /// `(epoch, Z, A^self_clus)` snapshots taken at `snapshot_epochs`.
     pub snapshots: Vec<(usize, rgae_linalg::Mat, Rc<Csr>)>,
+    /// The guard layer exhausted its retries and the run finished on the
+    /// last-good parameters instead of fully recovering.
+    pub degraded: bool,
 }
 
 /// Outcome of a plain (un-modified 𝒟) run.
@@ -336,6 +370,9 @@ pub struct PlainReport {
     pub train_seconds: f64,
     /// `(epoch, Z)` snapshots taken at `snapshot_epochs`.
     pub snapshots: Vec<(usize, rgae_linalg::Mat)>,
+    /// The guard layer exhausted its retries and the run finished on the
+    /// last-good parameters instead of fully recovering.
+    pub degraded: bool,
 }
 
 /// Split links into (same-label, cross-label) counts.
@@ -384,6 +421,268 @@ fn supervised_graph(
         &UpsilonConfig::default(),
     )?;
     Ok(Rc::new(out.graph))
+}
+
+/// Outcome of a guard recovery decision.
+enum Recovery {
+    /// Roll back to this state, apply the retry plan, and re-enter the loop.
+    Retry(Box<TrainerState>, RetryPlan),
+    /// Retries exhausted (or nothing to restore): finish degraded, on the
+    /// carried state's parameters when one is available.
+    Degrade(Option<Box<TrainerState>>),
+}
+
+/// Per-phase driver for the guard layer: owns the health monitor, the
+/// retry/backoff policy, the fault-injection schedule, and an in-memory
+/// last-good snapshot (the rollback source when no checkpoint directory is
+/// configured). Constructed only when [`RConfig::guard`] is set; no method
+/// ever touches the RNG stream or reorders trainer computation, which is
+/// what keeps a fault-free guarded run bit-identical to an unguarded one.
+struct GuardDriver<'r> {
+    cfg: GuardConfig,
+    monitor: HealthMonitor,
+    policy: RecoveryPolicy,
+    faults: FaultPlan,
+    rec: &'r dyn Recorder,
+    /// `nonfinite_grad_steps` baseline; the per-epoch delta is what trips.
+    grad_base: u64,
+    last_good: Option<TrainerState>,
+}
+
+impl<'r> GuardDriver<'r> {
+    /// `None` when the config has no guard section. Fault injection is only
+    /// armed for the clustering phase (`RGAE_FAULT` epochs are clustering
+    /// epochs); the pretrain driver still runs the health checks.
+    fn new(
+        cfg: Option<&GuardConfig>,
+        rec: &'r dyn Recorder,
+        model: &dyn GaeModel,
+        arm_faults: bool,
+    ) -> Option<Self> {
+        let cfg = cfg?.clone();
+        let specs = if arm_faults {
+            cfg.faults.clone()
+        } else {
+            Vec::new()
+        };
+        Some(GuardDriver {
+            monitor: HealthMonitor::new(cfg.clone()),
+            policy: RecoveryPolicy::new(cfg.max_retries, cfg.lr_backoff),
+            faults: FaultPlan::new(specs),
+            rec,
+            grad_base: model.nonfinite_grad_steps(),
+            last_good: None,
+            cfg,
+        })
+    }
+
+    /// Fire the fault injections scheduled for `epoch`, logging one event
+    /// per fault. Each spec fires at most once — the fired flags live in
+    /// this driver, outside the retry loop, so a rollback past the fault
+    /// epoch does not re-inject it.
+    fn faults_due(&mut self, phase: &str, epoch: usize) -> Vec<FaultKind> {
+        let due = self.faults.take_due(epoch);
+        for kind in &due {
+            emit_finding(
+                self.rec,
+                phase,
+                Some(epoch),
+                &Finding {
+                    kind: "fault_injected",
+                    severity: Severity::Info,
+                    value: None,
+                    threshold: None,
+                    detail: format!("injecting {} at epoch {epoch}", kind.as_str()),
+                },
+            );
+        }
+        due
+    }
+
+    /// The per-epoch trip checks: loss health and the skipped-gradient
+    /// delta (both O(1)), plus — on snapshot epochs (`scan`) — the O(model)
+    /// parameter scan. Returns the exported parameter state when the scan
+    /// ran (the caller reuses it for checkpointing) and whether any check
+    /// tripped. Every state that later becomes a rollback target passes
+    /// through the scan first, so a healthy snapshot is never poisoned.
+    fn check_core(
+        &mut self,
+        phase: &str,
+        epoch: usize,
+        loss: f64,
+        model: &dyn GaeModel,
+        scan: bool,
+    ) -> (Option<ModelState>, bool) {
+        let mut tripped = false;
+        if let Some(f) = self.monitor.observe_loss(loss) {
+            tripped |= f.is_trip();
+            emit_finding(self.rec, phase, Some(epoch), &f);
+        }
+        let now = model.nonfinite_grad_steps();
+        let delta = now.saturating_sub(self.grad_base);
+        self.grad_base = now;
+        if let Some(f) = self.monitor.observe_grad_skips(delta) {
+            tripped |= f.is_trip();
+            emit_finding(self.rec, phase, Some(epoch), &f);
+        }
+        if !scan {
+            return (None, tripped);
+        }
+        let exported = model.export_params();
+        let all_finite = !self.cfg.check_params || exported.all_finite();
+        if let Some(f) = self.monitor.observe_param_scan(all_finite) {
+            tripped |= f.is_trip();
+            emit_finding(self.rec, phase, Some(epoch), &f);
+        }
+        (Some(exported), tripped)
+    }
+
+    /// Whether this epoch does the O(model) guard work — the parameter scan
+    /// and the rollback-snapshot refresh: the configured cadence, or a
+    /// pending checkpoint save.
+    fn snapshot_due(&self, epoch: usize, due_save: bool) -> bool {
+        due_save || (epoch + 1).is_multiple_of(self.cfg.snapshot_every.max(1))
+    }
+
+    /// The advisory (warn-level) checks: soft-assignment cluster collapse
+    /// and a degenerate |Ω|. Never trip — they only annotate the run log.
+    fn warn_checks(
+        &mut self,
+        phase: &str,
+        epoch: usize,
+        p: Option<&rgae_linalg::Mat>,
+        omega: Option<(usize, usize)>,
+    ) {
+        if let Some(p) = p {
+            if let Some(f) = self.monitor.observe_assignments(p) {
+                emit_finding(self.rec, phase, Some(epoch), &f);
+            }
+        }
+        if let Some((len, n)) = omega {
+            if let Some(f) = self.monitor.observe_omega(len, n) {
+                emit_finding(self.rec, phase, Some(epoch), &f);
+            }
+        }
+    }
+
+    /// Remember a healthy epoch's state as the in-memory rollback fallback
+    /// (used when no checkpoint store is configured, or when every on-disk
+    /// generation turns out unreadable).
+    fn note_healthy(&mut self, st: TrainerState) {
+        self.last_good = Some(st);
+    }
+
+    fn emit_recovery(
+        &self,
+        action: &str,
+        phase: &str,
+        epoch: usize,
+        attempt: usize,
+        lr_scale: f64,
+        detail: String,
+    ) {
+        if self.rec.enabled() {
+            self.rec.record(&Event::Recovery {
+                action: action.into(),
+                phase: phase.into(),
+                epoch: Some(epoch),
+                attempt,
+                lr_scale,
+                detail,
+            });
+        }
+    }
+
+    /// Decide what to do about a tripped epoch: pick a rollback source (the
+    /// newest readable on-disk generation of the matching phase, else the
+    /// in-memory last-good), consume a retry from the policy, and log the
+    /// decision. The caller restores the returned state and re-enters its
+    /// loop (`Retry`) or finishes on the last-good parameters (`Degrade`).
+    fn recover(
+        &mut self,
+        saver: Option<&Saver<'_>>,
+        variant: u8,
+        clustering: bool,
+        phase: &str,
+        epoch: usize,
+    ) -> Recovery {
+        let from_disk = saver
+            .and_then(|s| s.load_for_rollback(variant))
+            .filter(|st| matches!(st.phase, Phase::Clustering { .. }) == clustering);
+        let source = if from_disk.is_some() {
+            "checkpoint"
+        } else {
+            "memory"
+        };
+        let Some(state) = from_disk.or_else(|| self.last_good.clone()) else {
+            self.emit_recovery(
+                "degraded",
+                phase,
+                epoch,
+                self.policy.attempts(),
+                self.policy.lr_scale(),
+                "no healthy state to roll back to; finishing on current parameters".to_owned(),
+            );
+            return Recovery::Degrade(None);
+        };
+        match self.policy.next_retry() {
+            Some(plan) => {
+                let resume_at = state.phase.next_epoch().unwrap_or(0);
+                self.emit_recovery(
+                    "rollback",
+                    phase,
+                    epoch,
+                    plan.attempt,
+                    self.policy.lr_scale(),
+                    format!(
+                        "rolled back to {source} state at {} epoch {resume_at}",
+                        state.phase.name()
+                    ),
+                );
+                self.emit_recovery(
+                    "retry",
+                    phase,
+                    epoch,
+                    plan.attempt,
+                    self.policy.lr_scale(),
+                    format!(
+                        "retrying from epoch {resume_at}: lr scaled to {:.3e} of base, RNG reseeded",
+                        self.policy.lr_scale()
+                    ),
+                );
+                self.monitor.reset();
+                Recovery::Retry(Box::new(state), plan)
+            }
+            None => {
+                self.emit_recovery(
+                    "degraded",
+                    phase,
+                    epoch,
+                    self.policy.attempts(),
+                    self.policy.lr_scale(),
+                    format!("retries exhausted; finishing on last-good {source} state"),
+                );
+                Recovery::Degrade(Some(Box::new(state)))
+            }
+        }
+    }
+}
+
+/// Log an Ω-degeneracy guard event. Emitted whether or not the guard layer
+/// is enabled — these are structural conditions of the Ξ operator, and
+/// logging them does not perturb any computation.
+fn emit_omega_guard(rec: &dyn Recorder, kind: &str, epoch: usize, detail: &str) {
+    if rec.enabled() {
+        rec.record(&Event::Guard {
+            kind: kind.to_owned(),
+            severity: "warn".to_owned(),
+            phase: "clustering".to_owned(),
+            epoch: Some(epoch),
+            value: Some(0.0),
+            threshold: None,
+            detail: detail.to_owned(),
+        });
+    }
 }
 
 /// The generic R-𝒟 trainer.
@@ -436,6 +735,9 @@ impl<'a> RTrainer<'a> {
 
     /// Pretrain only (vanilla reconstruction + head initialisation). Useful
     /// when several variants must share the same pretrained weights.
+    // `mut_range_bound`: the guard rollback updates the loop's start epoch
+    // and re-enters it via `continue 'attempts`, where the bound IS re-read.
+    #[allow(clippy::mut_range_bound)]
     pub fn pretrain(
         &self,
         model: &mut dyn GaeModel,
@@ -460,22 +762,83 @@ impl<'a> RTrainer<'a> {
             }
         }
         let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
+        let mut guard = GuardDriver::new(self.cfg.guard.as_ref(), self.rec, model, false);
+        // Phase-entry seed: a trip before the first snapshot-cadence epoch
+        // rolls back to the initial weights instead of degrading.
+        if let Some(g) = guard.as_mut() {
+            g.note_healthy(TrainerState::new(
+                VARIANT_R,
+                Phase::Pretrain { next_epoch: start },
+                model.export_params(),
+                rng,
+            ));
+        }
         {
             let _pretrain = span(self.rec, "pretrain");
-            for epoch in start..self.cfg.pretrain_epochs {
-                model.train_step(data, &spec, rng)?;
-                if let Some(s) = saver.as_mut() {
+            'attempts: loop {
+                for epoch in start..self.cfg.pretrain_epochs {
+                    let loss = model.train_step(data, &spec, rng)?;
+                    let mut exported: Option<ModelState> = None;
+                    let mut snap = false;
+                    if let Some(g) = guard.as_mut() {
+                        let next = epoch + 1;
+                        snap = g.snapshot_due(
+                            epoch,
+                            saver
+                                .as_ref()
+                                .is_some_and(|s| s.due(next) && next < self.cfg.pretrain_epochs),
+                        );
+                        let (state, tripped) = g.check_core("pretrain", epoch, loss, model, snap);
+                        exported = state;
+                        if tripped {
+                            match g.recover(saver.as_ref(), VARIANT_R, false, "pretrain", epoch) {
+                                Recovery::Retry(st, plan) => {
+                                    model.import_params(&st.model)?;
+                                    model.scale_lr(plan.lr_scale);
+                                    *rng = st.rng();
+                                    rng.reseed_with(plan.reseed_salt);
+                                    start = st.phase.next_epoch().unwrap_or(0);
+                                    continue 'attempts;
+                                }
+                                Recovery::Degrade(st) => {
+                                    // Pretrain degradation is not terminal for
+                                    // the run: restore the last-good weights
+                                    // (when any) and proceed to head init —
+                                    // the clustering phase may still recover.
+                                    if let Some(st) = st {
+                                        model.import_params(&st.model)?;
+                                        *rng = st.rng();
+                                    }
+                                    break 'attempts;
+                                }
+                            }
+                        }
+                    }
                     let next = epoch + 1;
-                    if s.due(next) && next < self.cfg.pretrain_epochs {
+                    let due_save = saver
+                        .as_ref()
+                        .is_some_and(|s| s.due(next) && next < self.cfg.pretrain_epochs);
+                    if snap || due_save {
                         let st = TrainerState::new(
                             VARIANT_R,
                             Phase::Pretrain { next_epoch: next },
-                            model.export_params(),
+                            exported.take().unwrap_or_else(|| model.export_params()),
                             rng,
                         );
-                        s.save(&st)?;
+                        if due_save {
+                            if let Some(s) = saver.as_mut() {
+                                s.save(&st)?;
+                                if guard.is_some() {
+                                    s.mark_healthy(&st)?;
+                                }
+                            }
+                        }
+                        if let Some(g) = guard.as_mut() {
+                            g.note_healthy(st);
+                        }
                     }
                 }
+                break 'attempts;
             }
         }
         {
@@ -509,7 +872,9 @@ impl<'a> RTrainer<'a> {
     }
 
     /// The clustering phase alone (assumes pretraining already ran).
-    #[allow(clippy::too_many_lines)]
+    // `mut_range_bound`: the guard rollback updates the loop's start epoch
+    // and re-enters it via `continue 'attempts`, where the bound IS re-read.
+    #[allow(clippy::too_many_lines, clippy::mut_range_bound)]
     pub fn train_clustering_phase(
         &self,
         model: &mut dyn GaeModel,
@@ -567,6 +932,7 @@ impl<'a> RTrainer<'a> {
                         final_acc: fm.acc,
                         final_nmi: fm.nmi,
                         final_ari: fm.ari,
+                        degraded: st.degraded,
                     }));
                 }
                 return Ok(RReport {
@@ -577,6 +943,7 @@ impl<'a> RTrainer<'a> {
                     train_seconds: st.elapsed_seconds,
                     final_graph,
                     snapshots,
+                    degraded: st.degraded,
                 });
             }
             // A finished state missing its metrics is unusable: run fresh.
@@ -634,6 +1001,8 @@ impl<'a> RTrainer<'a> {
 
         let clustering = span(rec, "clustering");
         let phase_start = std::time::Instant::now();
+        let mut guard = GuardDriver::new(cfg.guard.as_ref(), rec, model, true);
+        let mut degraded = false;
 
         // Table 7 protection variant: one-shot Υ(A, P, 𝒱) before training.
         // Mid-clustering resumes restore the transformed graph instead.
@@ -647,99 +1016,224 @@ impl<'a> RTrainer<'a> {
             a_self = Rc::new(out.graph);
         }
 
-        for epoch in start_epoch..cfg.max_epochs {
-            if cfg.snapshot_epochs.contains(&epoch) {
-                snapshots.push((epoch, model.embed(data), Rc::clone(&a_self)));
-            }
-            let xi_active = cfg.use_xi && epoch >= cfg.delay_xi;
+        // Seed the in-memory rollback target with the phase-entry state so
+        // a guard tripped before the first snapshot-cadence epoch still has
+        // somewhere safe to land. (Placed after the one-shot Υ above: that
+        // transform runs once per run, so a rollback must not precede it.)
+        if let Some(g) = guard.as_mut() {
+            let mut st = TrainerState::new(
+                VARIANT_R,
+                Phase::Clustering {
+                    next_epoch: start_epoch,
+                },
+                model.export_params(),
+                rng,
+            );
+            st.omega = Some(omega.clone());
+            st.a_self = Some((*a_self).clone());
+            st.converged_at = converged_at;
+            st.pretrain_metrics = Some(pretrain_metrics);
+            st.epochs = epochs.clone();
+            st.snapshots = snapshots
+                .iter()
+                .map(|(e, z, a)| (*e, z.clone(), Some((**a).clone())))
+                .collect();
+            st.elapsed_seconds = elapsed_base;
+            g.note_healthy(st);
+        }
 
-            // Refresh Ω every M₁ epochs (Ω = 𝒱 while Ξ is inactive).
-            if epoch % cfg.m1 == 0 {
-                if xi_active {
-                    let _xi = span(rec, "xi");
-                    let p = xi_assignments_or_kmeans_traced(model, data, rng, rec)?;
-                    let candidate = xi(&p, &cfg.xi)?;
-                    if !candidate.is_empty() {
-                        omega = candidate;
-                    }
-                } else {
-                    omega = Omega {
-                        indices: all_nodes.clone(),
-                        lambda1: vec![1.0; n],
-                        lambda2: vec![0.0; n],
-                    };
+        'attempts: loop {
+            for epoch in start_epoch..cfg.max_epochs {
+                if cfg.snapshot_epochs.contains(&epoch) {
+                    snapshots.push((epoch, model.embed(data), Rc::clone(&a_self)));
                 }
-            }
+                let xi_active = cfg.use_xi && epoch >= cfg.delay_xi;
 
-            // Refresh A^self_clus every M₂ epochs (gradual correction mode).
-            if cfg.use_upsilon && cfg.fd_mode == FdMode::GradualCorrection && epoch % cfg.m2 == 0 {
-                let _upsilon = span(rec, "upsilon");
-                let p = soft_assignments_or_kmeans_traced(model, data, rng, rec)?;
-                let z = model.embed(data);
-                let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &cfg.upsilon)?;
-                rec.count("edges_added", out.added.len() as u64);
-                rec.count("edges_dropped", out.dropped.len() as u64);
-                a_self = Rc::new(out.graph);
-            }
-
-            // One optimisation step.
-            let step_t = span(rec, "step");
-            let cluster = match model.cluster_target(data)? {
-                Some(target) => Some(ClusterStep {
-                    target,
-                    omega: if omega.len() < n {
-                        Some(omega.indices.clone())
+                // Refresh Ω every M₁ epochs (Ω = 𝒱 while Ξ is inactive).
+                if epoch % cfg.m1 == 0 {
+                    if xi_active {
+                        let _xi = span(rec, "xi");
+                        let p = xi_assignments_or_kmeans_traced(model, data, rng, rec)?;
+                        let candidate = xi(&p, &cfg.xi)?;
+                        if candidate.is_empty() {
+                            emit_omega_guard(
+                                rec,
+                                "degenerate_omega",
+                                epoch,
+                                "Xi returned an empty Omega; keeping the previous one",
+                            );
+                        } else {
+                            omega = candidate;
+                        }
                     } else {
-                        None
-                    },
-                }),
-                None => None,
-            };
-            let spec = StepSpec {
-                recon_target: Some(Rc::clone(&a_self)),
-                gamma: cfg.gamma,
-                cluster,
-            };
-            let loss = model.train_step(data, &spec, rng)?;
-            step_t.stop();
-
-            // This epoch ends the run either by convergence (|Ω| ≥ 0.9N,
-            // checked on the Ω that drove the step) or by exhausting the
-            // budget; both force a full evaluation so the last record always
-            // carries metrics regardless of `eval_every`.
-            let converging = converged_at.is_none()
-                && epoch >= cfg.min_epochs
-                && omega.coverage(n) >= cfg.convergence;
-            let last_epoch = converging || epoch + 1 == cfg.max_epochs;
-
-            // Bookkeeping.
-            let record = {
-                let _record = span(rec, "record");
-                self.record_epoch(
-                    model, data, graph, epoch, loss, &omega, &a_self, rng, last_epoch,
-                )?
-            };
-            if rec.enabled() {
-                rec.record(&Event::Epoch(record.to_event()));
-                rec.gauge("omega_size", Some(epoch), omega.len() as f64);
-            }
-            epochs.push(record);
-
-            if converging {
-                converged_at = Some(epoch);
-                if rec.enabled() {
-                    rec.record(&Event::Convergence { epoch });
+                        omega = Omega {
+                            indices: all_nodes.clone(),
+                            lambda1: vec![1.0; n],
+                            lambda2: vec![0.0; n],
+                        };
+                    }
                 }
-            }
 
-            if let Some(s) = saver.as_mut() {
-                if !last_epoch && s.due(epoch + 1) {
+                // Refresh A^self_clus every M₂ epochs (gradual correction).
+                if cfg.use_upsilon
+                    && cfg.fd_mode == FdMode::GradualCorrection
+                    && epoch % cfg.m2 == 0
+                {
+                    let _upsilon = span(rec, "upsilon");
+                    let p = soft_assignments_or_kmeans_traced(model, data, rng, rec)?;
+                    let z = model.embed(data);
+                    let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &cfg.upsilon)?;
+                    rec.count("edges_added", out.added.len() as u64);
+                    rec.count("edges_dropped", out.dropped.len() as u64);
+                    a_self = Rc::new(out.graph);
+                }
+
+                // One optimisation step, with any scheduled fault injections.
+                let due_faults = guard
+                    .as_mut()
+                    .map_or_else(Vec::new, |g| g.faults_due("clustering", epoch));
+                let step_t = span(rec, "step");
+                let cluster = match model.cluster_target(data)? {
+                    // |Ω| = 0 would make the clustering loss an empty-set
+                    // reduction; skip the term this epoch instead.
+                    Some(_) if omega.is_empty() => {
+                        emit_omega_guard(
+                            rec,
+                            "empty_omega",
+                            epoch,
+                            "|Omega| = 0: skipping the clustering-loss term this epoch",
+                        );
+                        None
+                    }
+                    Some(target) => Some(ClusterStep {
+                        target,
+                        omega: if omega.len() < n {
+                            Some(omega.indices.clone())
+                        } else {
+                            None
+                        },
+                    }),
+                    None => None,
+                };
+                let spec = StepSpec {
+                    recon_target: Some(Rc::clone(&a_self)),
+                    gamma: cfg.gamma,
+                    cluster,
+                };
+                let poison = due_faults.contains(&FaultKind::NanGrad);
+                if poison {
+                    arm_grad_poison();
+                }
+                let step_result = model.train_step(data, &spec, rng);
+                if poison {
+                    disarm_grad_poison();
+                }
+                let mut loss = step_result?;
+                step_t.stop();
+                for kind in &due_faults {
+                    match kind {
+                        FaultKind::InfLoss => loss = f64::INFINITY,
+                        FaultKind::NanLoss => loss = f64::NAN,
+                        FaultKind::CorruptCkpt => {
+                            if let Some(s) = saver.as_ref() {
+                                s.corrupt_latest(epoch as u64)?;
+                            }
+                        }
+                        FaultKind::NanGrad => {}
+                    }
+                }
+
+                // Trip checks run before any bookkeeping: a tripped epoch
+                // contributes no record, no convergence, and no save.
+                let mut exported: Option<ModelState> = None;
+                let mut snap = false;
+                if let Some(g) = guard.as_mut() {
+                    snap = g.snapshot_due(epoch, saver.as_ref().is_some_and(|s| s.due(epoch + 1)));
+                    let (state, tripped) = g.check_core("clustering", epoch, loss, model, snap);
+                    exported = state;
+                    if tripped {
+                        match g.recover(saver.as_ref(), VARIANT_R, true, "clustering", epoch) {
+                            Recovery::Retry(st, plan) => {
+                                model.import_params(&st.model)?;
+                                model.scale_lr(plan.lr_scale);
+                                *rng = st.rng();
+                                rng.reseed_with(plan.reseed_salt);
+                                a_self = st.a_self.as_ref().map_or_else(
+                                    || Rc::clone(&data.adjacency),
+                                    |a| Rc::new(a.clone()),
+                                );
+                                snapshots = st.r_snapshots(&a_self);
+                                omega = st.omega.clone().unwrap_or_else(|| Omega {
+                                    indices: all_nodes.clone(),
+                                    lambda1: vec![1.0; n],
+                                    lambda2: vec![0.0; n],
+                                });
+                                converged_at = st.converged_at;
+                                epochs = st.epochs.clone();
+                                start_epoch = st.phase.next_epoch().unwrap_or(0);
+                                continue 'attempts;
+                            }
+                            Recovery::Degrade(st) => {
+                                if let Some(st) = st {
+                                    model.import_params(&st.model)?;
+                                    *rng = st.rng();
+                                    a_self = st.a_self.as_ref().map_or_else(
+                                        || Rc::clone(&data.adjacency),
+                                        |a| Rc::new(a.clone()),
+                                    );
+                                    snapshots = st.r_snapshots(&a_self);
+                                    converged_at = st.converged_at;
+                                    epochs = st.epochs.clone();
+                                }
+                                degraded = true;
+                                break 'attempts;
+                            }
+                        }
+                    }
+                }
+
+                // This epoch ends the run either by convergence (|Ω| ≥ 0.9N,
+                // checked on the Ω that drove the step) or by exhausting the
+                // budget; both force a full evaluation so the last record
+                // always carries metrics regardless of `eval_every`.
+                let converging = converged_at.is_none()
+                    && epoch >= cfg.min_epochs
+                    && omega.coverage(n) >= cfg.convergence;
+                let last_epoch = converging || epoch + 1 == cfg.max_epochs;
+
+                // Bookkeeping.
+                let (record, p) = {
+                    let _record = span(rec, "record");
+                    self.record_epoch(
+                        model, data, graph, epoch, loss, &omega, &a_self, rng, last_epoch,
+                    )?
+                };
+                if rec.enabled() {
+                    rec.record(&Event::Epoch(record.to_event()));
+                    rec.gauge("omega_size", Some(epoch), omega.len() as f64);
+                }
+                epochs.push(record);
+                if let Some(g) = guard.as_mut() {
+                    g.warn_checks("clustering", epoch, Some(&p), Some((omega.len(), n)));
+                }
+
+                if converging {
+                    converged_at = Some(epoch);
+                    if rec.enabled() {
+                        rec.record(&Event::Convergence { epoch });
+                    }
+                }
+
+                let due_save = saver
+                    .as_ref()
+                    .is_some_and(|s| !last_epoch && s.due(epoch + 1));
+                if snap || due_save {
                     let mut st = TrainerState::new(
                         VARIANT_R,
                         Phase::Clustering {
                             next_epoch: epoch + 1,
                         },
-                        model.export_params(),
+                        exported.take().unwrap_or_else(|| model.export_params()),
                         rng,
                     );
                     st.omega = Some(omega.clone());
@@ -752,13 +1246,24 @@ impl<'a> RTrainer<'a> {
                         .map(|(e, z, a)| (*e, z.clone(), Some((**a).clone())))
                         .collect();
                     st.elapsed_seconds = elapsed_base + phase_start.elapsed().as_secs_f64();
-                    s.save(&st)?;
+                    if due_save {
+                        if let Some(s) = saver.as_mut() {
+                            s.save(&st)?;
+                            if guard.is_some() {
+                                s.mark_healthy(&st)?;
+                            }
+                        }
+                    }
+                    if let Some(g) = guard.as_mut() {
+                        g.note_healthy(st);
+                    }
+                }
+
+                if converging {
+                    break;
                 }
             }
-
-            if converging {
-                break;
-            }
+            break 'attempts;
         }
         let train_seconds = elapsed_base + clustering.stop();
         // Requested snapshots at or past the end of the run collapse into
@@ -782,6 +1287,7 @@ impl<'a> RTrainer<'a> {
                 final_acc: final_metrics.acc,
                 final_nmi: final_metrics.nmi,
                 final_ari: final_metrics.ari,
+                degraded,
             }));
             flush_kernel_stats(rec);
         }
@@ -797,6 +1303,7 @@ impl<'a> RTrainer<'a> {
                 .map(|(e, z, a)| (*e, z.clone(), Some((**a).clone())))
                 .collect();
             st.elapsed_seconds = train_seconds;
+            st.degraded = degraded;
             s.save(&st)?;
         }
         Ok(RReport {
@@ -807,9 +1314,13 @@ impl<'a> RTrainer<'a> {
             train_seconds,
             final_graph: a_self,
             snapshots,
+            degraded,
         })
     }
 
+    /// Per-epoch bookkeeping. Also returns the soft assignments `P` it
+    /// computed (the epoch's only RNG consumer), so the guard layer can run
+    /// its cluster-collapse check without consuming the stream again.
     #[allow(clippy::too_many_arguments)]
     fn record_epoch(
         &self,
@@ -822,7 +1333,7 @@ impl<'a> RTrainer<'a> {
         a_self: &Rc<Csr>,
         rng: &mut Rng64,
         force_eval: bool,
-    ) -> Result<EpochRecord> {
+    ) -> Result<(EpochRecord, rgae_linalg::Mat)> {
         let cfg = &self.cfg;
         let truth = graph.labels();
         let n = data.num_nodes;
@@ -878,21 +1389,24 @@ impl<'a> RTrainer<'a> {
             fd_van = Some(lambda_fd(model, data, &data.adjacency, &sup)?);
         }
 
-        Ok(EpochRecord {
-            epoch,
-            loss,
-            metrics,
-            omega_size: omega.len(),
-            omega_acc,
-            rest_acc,
-            graph_stats,
-            added_links,
-            dropped_links,
-            lambda_fr_restricted: fr_r,
-            lambda_fr_full: fr_full,
-            lambda_fd_current: fd_cur,
-            lambda_fd_vanilla: fd_van,
-        })
+        Ok((
+            EpochRecord {
+                epoch,
+                loss,
+                metrics,
+                omega_size: omega.len(),
+                omega_acc,
+                rest_acc,
+                graph_stats,
+                added_links,
+                dropped_links,
+                lambda_fr_restricted: fr_r,
+                lambda_fr_full: fr_full,
+                lambda_fd_current: fd_cur,
+                lambda_fd_vanilla: fd_van,
+            },
+            p,
+        ))
     }
 }
 
@@ -954,7 +1468,9 @@ pub fn train_plain_traced(
 /// both phases plus phase-boundary and end-of-run saves, and (with
 /// `opts.resume`) bit-identical mid-phase re-entry — the plain counterpart
 /// of [`RTrainer::with_checkpoints`].
-#[allow(clippy::too_many_lines)]
+// `mut_range_bound`: the guard rollback updates a loop's start epoch and
+// re-enters it via `continue 'attempts`, where the bound IS re-read.
+#[allow(clippy::too_many_lines, clippy::mut_range_bound)]
 pub fn train_plain_ckpt(
     model: &mut dyn GaeModel,
     graph: &AttributedGraph,
@@ -996,6 +1512,7 @@ pub fn train_plain_ckpt(
                     final_acc: fm.acc,
                     final_nmi: fm.nmi,
                     final_ari: fm.ari,
+                    degraded: st.degraded,
                 }));
             }
             return Ok(PlainReport {
@@ -1004,6 +1521,7 @@ pub fn train_plain_ckpt(
                 epochs: st.epochs,
                 train_seconds: st.elapsed_seconds,
                 snapshots,
+                degraded: st.degraded,
             });
         }
         // A finished state missing its metrics is unusable: run fresh.
@@ -1026,22 +1544,86 @@ pub fn train_plain_ckpt(
 
     if clustering_resume.is_none() {
         let spec_pre = StepSpec::pretrain(Rc::clone(&data.adjacency));
+        let mut guard = GuardDriver::new(cfg.guard.as_ref(), rec, model, false);
+        // Phase-entry seed: a trip before the first snapshot-cadence epoch
+        // rolls back to the initial weights instead of degrading.
+        if let Some(g) = guard.as_mut() {
+            g.note_healthy(TrainerState::new(
+                VARIANT_PLAIN,
+                Phase::Pretrain {
+                    next_epoch: pretrain_start,
+                },
+                model.export_params(),
+                rng,
+            ));
+        }
         {
             let _pretrain = span(rec, "pretrain");
-            for epoch in pretrain_start..cfg.pretrain_epochs {
-                model.train_step(&data, &spec_pre, rng)?;
-                if let Some(s) = saver.as_mut() {
+            'attempts: loop {
+                for epoch in pretrain_start..cfg.pretrain_epochs {
+                    let loss = model.train_step(&data, &spec_pre, rng)?;
+                    let mut exported: Option<ModelState> = None;
+                    let mut snap = false;
+                    if let Some(g) = guard.as_mut() {
+                        let next = epoch + 1;
+                        snap = g.snapshot_due(
+                            epoch,
+                            saver
+                                .as_ref()
+                                .is_some_and(|s| s.due(next) && next < cfg.pretrain_epochs),
+                        );
+                        let (state, tripped) = g.check_core("pretrain", epoch, loss, model, snap);
+                        exported = state;
+                        if tripped {
+                            match g.recover(saver.as_ref(), VARIANT_PLAIN, false, "pretrain", epoch)
+                            {
+                                Recovery::Retry(st, plan) => {
+                                    model.import_params(&st.model)?;
+                                    model.scale_lr(plan.lr_scale);
+                                    *rng = st.rng();
+                                    rng.reseed_with(plan.reseed_salt);
+                                    pretrain_start = st.phase.next_epoch().unwrap_or(0);
+                                    continue 'attempts;
+                                }
+                                Recovery::Degrade(st) => {
+                                    // Not terminal for the run: restore the
+                                    // last-good weights (when any) and move
+                                    // on to head init — the clustering phase
+                                    // may still recover.
+                                    if let Some(st) = st {
+                                        model.import_params(&st.model)?;
+                                        *rng = st.rng();
+                                    }
+                                    break 'attempts;
+                                }
+                            }
+                        }
+                    }
                     let next = epoch + 1;
-                    if s.due(next) && next < cfg.pretrain_epochs {
+                    let due_save = saver
+                        .as_ref()
+                        .is_some_and(|s| s.due(next) && next < cfg.pretrain_epochs);
+                    if snap || due_save {
                         let st = TrainerState::new(
                             VARIANT_PLAIN,
                             Phase::Pretrain { next_epoch: next },
-                            model.export_params(),
+                            exported.take().unwrap_or_else(|| model.export_params()),
                             rng,
                         );
-                        s.save(&st)?;
+                        if due_save {
+                            if let Some(s) = saver.as_mut() {
+                                s.save(&st)?;
+                                if guard.is_some() {
+                                    s.mark_healthy(&st)?;
+                                }
+                            }
+                        }
+                        if let Some(g) = guard.as_mut() {
+                            g.note_healthy(st);
+                        }
                     }
                 }
+                break 'attempts;
             }
         }
         {
@@ -1095,86 +1677,173 @@ pub fn train_plain_ckpt(
 
     let clustering = span(rec, "clustering");
     let phase_start = std::time::Instant::now();
-    for epoch in start_epoch..cfg.max_epochs {
-        if cfg.snapshot_epochs.contains(&epoch) {
-            snapshots.push((epoch, model.embed(&data)));
-        }
-        let step_t = span(rec, "step");
-        let cluster = model.cluster_target(&data)?.map(|target| ClusterStep {
-            target,
-            omega: None,
-        });
-        let spec = StepSpec {
-            recon_target: Some(Rc::clone(&data.adjacency)),
-            gamma: cfg.gamma,
-            cluster,
-        };
-        let loss = model.train_step(&data, &spec, rng)?;
-        step_t.stop();
-
-        // The final epoch always gets a full evaluation, whatever
-        // `eval_every` says — the closing record must carry metrics.
-        let last_epoch = epoch + 1 == cfg.max_epochs;
-        let record_t = span(rec, "record");
-        let eval_t = span(rec, "eval");
-        let p = soft_assignments_or_kmeans_traced(model, &data, rng, rec)?;
-        let pred = p.row_argmax();
-        let eval_now = last_epoch || epoch.is_multiple_of(cfg.eval_every);
-        let metrics = eval_now.then(|| Metrics::from_predictions(&pred, truth));
-        eval_t.stop();
-        let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
-        let mut omega_size = data.num_nodes;
-        if cfg.track_diagnostics {
-            let _diag = span(rec, "diagnostics");
-            let p_xi = xi_assignments_or_kmeans_traced(model, &data, rng, rec)?;
-            let omega = xi(&p_xi, &cfg.xi)?;
-            omega_size = omega.len();
-            let z = model.embed(&data);
-            if let Some(target) = model.cluster_target(&data)? {
-                if !omega.is_empty() {
-                    fr_r = lambda_fr(model, &data, &target, Some(&omega.indices), truth, rec)?;
+    let mut guard = GuardDriver::new(cfg.guard.as_ref(), rec, model, true);
+    let mut degraded = false;
+    // Seed the in-memory rollback target with the phase-entry state so a
+    // guard tripped before the first snapshot-cadence epoch still has
+    // somewhere safe to land.
+    if let Some(g) = guard.as_mut() {
+        let mut st = TrainerState::new(
+            VARIANT_PLAIN,
+            Phase::Clustering {
+                next_epoch: start_epoch,
+            },
+            model.export_params(),
+            rng,
+        );
+        st.pretrain_metrics = Some(pretrain_metrics);
+        st.epochs = epochs.clone();
+        st.snapshots = snapshots
+            .iter()
+            .map(|(e, z)| (*e, z.clone(), None))
+            .collect();
+        st.elapsed_seconds = elapsed_base;
+        g.note_healthy(st);
+    }
+    'attempts: loop {
+        for epoch in start_epoch..cfg.max_epochs {
+            if cfg.snapshot_epochs.contains(&epoch) {
+                snapshots.push((epoch, model.embed(&data)));
+            }
+            // One optimisation step, with any scheduled fault injections.
+            let due_faults = guard
+                .as_mut()
+                .map_or_else(Vec::new, |g| g.faults_due("clustering", epoch));
+            let step_t = span(rec, "step");
+            let cluster = model.cluster_target(&data)?.map(|target| ClusterStep {
+                target,
+                omega: None,
+            });
+            let spec = StepSpec {
+                recon_target: Some(Rc::clone(&data.adjacency)),
+                gamma: cfg.gamma,
+                cluster,
+            };
+            let poison = due_faults.contains(&FaultKind::NanGrad);
+            if poison {
+                arm_grad_poison();
+            }
+            let step_result = model.train_step(&data, &spec, rng);
+            if poison {
+                disarm_grad_poison();
+            }
+            let mut loss = step_result?;
+            step_t.stop();
+            for kind in &due_faults {
+                match kind {
+                    FaultKind::InfLoss => loss = f64::INFINITY,
+                    FaultKind::NanLoss => loss = f64::NAN,
+                    FaultKind::CorruptCkpt => {
+                        if let Some(s) = saver.as_ref() {
+                            s.corrupt_latest(epoch as u64)?;
+                        }
+                    }
+                    FaultKind::NanGrad => {}
                 }
-                fr_full = lambda_fr(model, &data, &target, None, truth, rec)?;
             }
-            let sup = supervised_graph(&data, &z, &p, truth, rec)?;
-            // "R value at the plain model's θ": the Υ-transformed graph the
-            // R-model would use right now.
-            if !omega.is_empty() {
-                let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &cfg.upsilon)?;
-                fd_cur = Some(lambda_fd(model, &data, &Rc::new(out.graph), &sup)?);
-            }
-            fd_van = Some(lambda_fd(model, &data, &data.adjacency, &sup)?);
-        }
-        let record = EpochRecord {
-            epoch,
-            loss,
-            metrics,
-            omega_size,
-            omega_acc: 0.0,
-            rest_acc: 0.0,
-            graph_stats: eval_now.then(|| GraphStats::compute(&data.adjacency, truth)),
-            added_links: eval_now.then_some((0, 0)),
-            dropped_links: eval_now.then_some((0, 0)),
-            lambda_fr_restricted: fr_r,
-            lambda_fr_full: fr_full,
-            lambda_fd_current: fd_cur,
-            lambda_fd_vanilla: fd_van,
-        };
-        record_t.stop();
-        if rec.enabled() {
-            rec.record(&Event::Epoch(record.to_event()));
-            rec.gauge("omega_size", Some(epoch), omega_size as f64);
-        }
-        epochs.push(record);
 
-        if let Some(s) = saver.as_mut() {
-            if !last_epoch && s.due(epoch + 1) {
+            // Trip checks run before any bookkeeping: a tripped epoch
+            // contributes no record and no save.
+            let mut exported: Option<ModelState> = None;
+            let mut snap = false;
+            if let Some(g) = guard.as_mut() {
+                snap = g.snapshot_due(epoch, saver.as_ref().is_some_and(|s| s.due(epoch + 1)));
+                let (state, tripped) = g.check_core("clustering", epoch, loss, model, snap);
+                exported = state;
+                if tripped {
+                    match g.recover(saver.as_ref(), VARIANT_PLAIN, true, "clustering", epoch) {
+                        Recovery::Retry(st, plan) => {
+                            model.import_params(&st.model)?;
+                            model.scale_lr(plan.lr_scale);
+                            *rng = st.rng();
+                            rng.reseed_with(plan.reseed_salt);
+                            snapshots = st.plain_snapshots();
+                            epochs = st.epochs.clone();
+                            start_epoch = st.phase.next_epoch().unwrap_or(0);
+                            continue 'attempts;
+                        }
+                        Recovery::Degrade(st) => {
+                            if let Some(st) = st {
+                                model.import_params(&st.model)?;
+                                *rng = st.rng();
+                                snapshots = st.plain_snapshots();
+                                epochs = st.epochs.clone();
+                            }
+                            degraded = true;
+                            break 'attempts;
+                        }
+                    }
+                }
+            }
+
+            // The final epoch always gets a full evaluation, whatever
+            // `eval_every` says — the closing record must carry metrics.
+            let last_epoch = epoch + 1 == cfg.max_epochs;
+            let record_t = span(rec, "record");
+            let eval_t = span(rec, "eval");
+            let p = soft_assignments_or_kmeans_traced(model, &data, rng, rec)?;
+            let pred = p.row_argmax();
+            let eval_now = last_epoch || epoch.is_multiple_of(cfg.eval_every);
+            let metrics = eval_now.then(|| Metrics::from_predictions(&pred, truth));
+            eval_t.stop();
+            let (mut fr_r, mut fr_full, mut fd_cur, mut fd_van) = (None, None, None, None);
+            let mut omega_size = data.num_nodes;
+            if cfg.track_diagnostics {
+                let _diag = span(rec, "diagnostics");
+                let p_xi = xi_assignments_or_kmeans_traced(model, &data, rng, rec)?;
+                let omega = xi(&p_xi, &cfg.xi)?;
+                omega_size = omega.len();
+                let z = model.embed(&data);
+                if let Some(target) = model.cluster_target(&data)? {
+                    if !omega.is_empty() {
+                        fr_r = lambda_fr(model, &data, &target, Some(&omega.indices), truth, rec)?;
+                    }
+                    fr_full = lambda_fr(model, &data, &target, None, truth, rec)?;
+                }
+                let sup = supervised_graph(&data, &z, &p, truth, rec)?;
+                // "R value at the plain model's θ": the Υ-transformed graph the
+                // R-model would use right now.
+                if !omega.is_empty() {
+                    let out = upsilon(&data.adjacency, &p, &z, &omega.indices, &cfg.upsilon)?;
+                    fd_cur = Some(lambda_fd(model, &data, &Rc::new(out.graph), &sup)?);
+                }
+                fd_van = Some(lambda_fd(model, &data, &data.adjacency, &sup)?);
+            }
+            let record = EpochRecord {
+                epoch,
+                loss,
+                metrics,
+                omega_size,
+                omega_acc: 0.0,
+                rest_acc: 0.0,
+                graph_stats: eval_now.then(|| GraphStats::compute(&data.adjacency, truth)),
+                added_links: eval_now.then_some((0, 0)),
+                dropped_links: eval_now.then_some((0, 0)),
+                lambda_fr_restricted: fr_r,
+                lambda_fr_full: fr_full,
+                lambda_fd_current: fd_cur,
+                lambda_fd_vanilla: fd_van,
+            };
+            record_t.stop();
+            if rec.enabled() {
+                rec.record(&Event::Epoch(record.to_event()));
+                rec.gauge("omega_size", Some(epoch), omega_size as f64);
+            }
+            epochs.push(record);
+            if let Some(g) = guard.as_mut() {
+                g.warn_checks("clustering", epoch, Some(&p), None);
+            }
+
+            let due_save = saver
+                .as_ref()
+                .is_some_and(|s| !last_epoch && s.due(epoch + 1));
+            if snap || due_save {
                 let mut st = TrainerState::new(
                     VARIANT_PLAIN,
                     Phase::Clustering {
                         next_epoch: epoch + 1,
                     },
-                    model.export_params(),
+                    exported.take().unwrap_or_else(|| model.export_params()),
                     rng,
                 );
                 st.pretrain_metrics = Some(pretrain_metrics);
@@ -1184,9 +1853,20 @@ pub fn train_plain_ckpt(
                     .map(|(e, z)| (*e, z.clone(), None))
                     .collect();
                 st.elapsed_seconds = elapsed_base + phase_start.elapsed().as_secs_f64();
-                s.save(&st)?;
+                if due_save {
+                    if let Some(s) = saver.as_mut() {
+                        s.save(&st)?;
+                        if guard.is_some() {
+                            s.mark_healthy(&st)?;
+                        }
+                    }
+                }
+                if let Some(g) = guard.as_mut() {
+                    g.note_healthy(st);
+                }
             }
         }
+        break 'attempts;
     }
     let train_seconds = elapsed_base + clustering.stop();
     // Requested snapshots at or past the end of the run collapse into one
@@ -1209,6 +1889,7 @@ pub fn train_plain_ckpt(
             final_acc: final_metrics.acc,
             final_nmi: final_metrics.nmi,
             final_ari: final_metrics.ari,
+            degraded,
         }));
         flush_kernel_stats(rec);
     }
@@ -1222,6 +1903,7 @@ pub fn train_plain_ckpt(
             .map(|(e, z)| (*e, z.clone(), None))
             .collect();
         st.elapsed_seconds = train_seconds;
+        st.degraded = degraded;
         s.save(&st)?;
     }
     Ok(PlainReport {
@@ -1230,5 +1912,6 @@ pub fn train_plain_ckpt(
         epochs,
         train_seconds,
         snapshots,
+        degraded,
     })
 }

@@ -3,15 +3,33 @@
 
 use rgae_graph::{apply_edits, AttributedGraph, EditSet};
 use rgae_linalg::Rng64;
+use rgae_obs::{Recorder, NOOP};
 
 use crate::Result;
 
-/// Add `count` random edges between currently-unlinked node pairs.
+/// Add up to `count` random edges between currently-unlinked node pairs.
+///
+/// Returns the corrupted graph together with the number of edges actually
+/// added: on dense (or small) graphs the rejection sampler can exhaust its
+/// attempt budget — or the supply of unlinked pairs — before reaching
+/// `count`, and callers calibrating a corruption *level* need the delivered
+/// amount, not the requested one.
 pub fn add_random_edges(
     graph: &AttributedGraph,
     count: usize,
     rng: &mut Rng64,
-) -> Result<AttributedGraph> {
+) -> Result<(AttributedGraph, usize)> {
+    add_random_edges_traced(graph, count, rng, &NOOP)
+}
+
+/// [`add_random_edges`] with a run-log recorder: any shortfall is also
+/// surfaced as an `edges_add_shortfall` counter.
+pub fn add_random_edges_traced(
+    graph: &AttributedGraph,
+    count: usize,
+    rng: &mut Rng64,
+    rec: &dyn Recorder,
+) -> Result<(AttributedGraph, usize)> {
     let n = graph.num_nodes();
     let a = graph.adjacency();
     let mut edits = EditSet::new();
@@ -26,8 +44,12 @@ pub fn add_random_edges(
         }
         edits.add_edge(u, v).expect("u != v");
     }
+    let added = edits.num_additions();
+    if added < count {
+        rec.count("edges_add_shortfall", (count - added) as u64);
+    }
     let adj = apply_edits(a, &edits)?;
-    Ok(graph.clone().with_adjacency(adj)?)
+    Ok((graph.clone().with_adjacency(adj)?, added))
 }
 
 /// Drop `count` random existing edges.
@@ -105,10 +127,84 @@ mod tests {
     fn add_edges_increases_count() {
         let g = toy();
         let mut rng = Rng64::seed_from_u64(1);
-        let g2 = add_random_edges(&g, 40, &mut rng).unwrap();
+        let (g2, added) = add_random_edges(&g, 40, &mut rng).unwrap();
+        assert_eq!(added, 40);
         assert_eq!(g2.num_edges(), g.num_edges() + 40);
         // Features untouched.
         assert_eq!(g2.features().as_slice(), g.features().as_slice());
+    }
+
+    #[test]
+    fn add_edges_reports_shortfall_when_pairs_run_out() {
+        let g = toy();
+        let mut rng = Rng64::seed_from_u64(8);
+        // More edges than the 100-node graph has unlinked pairs: the
+        // sampler must stop short and report the delivered amount.
+        let requested = 10_000;
+        let (g2, added) = add_random_edges(&g, requested, &mut rng).unwrap();
+        assert!(added < requested);
+        // The returned count is the exact delivery, not the request.
+        assert_eq!(g2.num_edges(), g.num_edges() + added);
+    }
+
+    #[test]
+    fn add_edges_traced_counts_the_shortfall() {
+        let g = toy();
+        let sink = rgae_obs::MemorySink::new();
+        let mut rng = Rng64::seed_from_u64(9);
+        let requested = 10_000;
+        let (_, added) = add_random_edges_traced(&g, requested, &mut rng, &sink).unwrap();
+        assert_eq!(
+            sink.counter_total("edges_add_shortfall"),
+            (requested - added) as u64
+        );
+
+        // An exactly-delivered request emits no shortfall counter.
+        let sink = rgae_obs::MemorySink::new();
+        let mut rng = Rng64::seed_from_u64(10);
+        let (_, added) = add_random_edges_traced(&g, 5, &mut rng, &sink).unwrap();
+        assert_eq!(added, 5);
+        assert_eq!(sink.counter_total("edges_add_shortfall"), 0);
+    }
+
+    #[test]
+    fn corruptions_are_deterministic_per_seed() {
+        let g = toy();
+        for seed in [11u64, 12, 13] {
+            let (a1, n1) = add_random_edges(&g, 25, &mut Rng64::seed_from_u64(seed)).unwrap();
+            let (a2, n2) = add_random_edges(&g, 25, &mut Rng64::seed_from_u64(seed)).unwrap();
+            assert_eq!(n1, n2);
+            assert_eq!(a1.edges(), a2.edges());
+
+            let f1 = add_feature_noise(&g, 0.1, &mut Rng64::seed_from_u64(seed)).unwrap();
+            let f2 = add_feature_noise(&g, 0.1, &mut Rng64::seed_from_u64(seed)).unwrap();
+            assert_eq!(f1.features().as_slice(), f2.features().as_slice());
+
+            let d1 = drop_random_edges(&g, 15, &mut Rng64::seed_from_u64(seed)).unwrap();
+            let d2 = drop_random_edges(&g, 15, &mut Rng64::seed_from_u64(seed)).unwrap();
+            assert_eq!(d1.edges(), d2.edges());
+        }
+        // Different seeds genuinely vary the draw.
+        let (b1, _) = add_random_edges(&g, 25, &mut Rng64::seed_from_u64(1)).unwrap();
+        let (b2, _) = add_random_edges(&g, 25, &mut Rng64::seed_from_u64(2)).unwrap();
+        assert_ne!(b1.edges(), b2.edges());
+    }
+
+    #[test]
+    fn drop_columns_is_bounded_by_request_and_width() {
+        let g = toy();
+        let j = g.num_features();
+        let mut rng = Rng64::seed_from_u64(14);
+        let g2 = drop_feature_columns(&g, 5, &mut rng).unwrap();
+        let changed = (0..j)
+            .filter(|&c| g.features().col(c) != g2.features().col(c))
+            .count();
+        assert!(changed <= 5);
+        // Requests past the width clamp to the width instead of panicking.
+        let mut rng = Rng64::seed_from_u64(15);
+        let g3 = drop_feature_columns(&g, j + 100, &mut rng).unwrap();
+        assert_eq!(g3.features().frob_norm(), 0.0);
+        assert_eq!(g3.features().shape(), g.features().shape());
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Deterministic fault injection.
+//!
+//! Faults are declared as `kind@epoch:N` specs (comma-separated in the
+//! `RGAE_FAULT` environment variable) and fire exactly once at the named
+//! clustering-phase epoch — including across rollback re-entries, so a
+//! recovered retry does not re-poison itself. Byte-level checkpoint
+//! corruption picks its offset with `Rng64`, keeping the damage reproducible
+//! per epoch.
+
+use std::fmt;
+
+/// The supported fault kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Poison the optimiser's view of every gradient for one training step.
+    NanGrad,
+    /// Replace the epoch's reported loss with `+inf`.
+    InfLoss,
+    /// Replace the epoch's reported loss with NaN.
+    NanLoss,
+    /// Flip one byte of the latest on-disk checkpoint generation.
+    CorruptCkpt,
+}
+
+impl FaultKind {
+    /// Stable spec/tag name (`nan_grad`, `inf_loss`, `nan_loss`,
+    /// `corrupt_ckpt`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::NanGrad => "nan_grad",
+            FaultKind::InfLoss => "inf_loss",
+            FaultKind::NanLoss => "nan_loss",
+            FaultKind::CorruptCkpt => "corrupt_ckpt",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<FaultKind> {
+        match s {
+            "nan_grad" => Some(FaultKind::NanGrad),
+            "inf_loss" => Some(FaultKind::InfLoss),
+            "nan_loss" => Some(FaultKind::NanLoss),
+            "corrupt_ckpt" => Some(FaultKind::CorruptCkpt),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled fault: a kind plus the clustering-phase epoch it fires at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Clustering-phase epoch to fire at.
+    pub epoch: usize,
+}
+
+impl FaultSpec {
+    /// Parse one `kind@epoch:N` spec.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let s = s.trim();
+        let (kind_s, at) = s
+            .split_once('@')
+            .ok_or_else(|| format!("{s:?}: expected kind@epoch:N"))?;
+        let kind = FaultKind::from_str(kind_s.trim()).ok_or_else(|| {
+            format!(
+                "{s:?}: unknown fault kind {kind_s:?} (nan_grad, inf_loss, nan_loss, corrupt_ckpt)"
+            )
+        })?;
+        let epoch_s = at
+            .trim()
+            .strip_prefix("epoch:")
+            .ok_or_else(|| format!("{s:?}: expected epoch:N after '@'"))?;
+        let epoch = epoch_s
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("{s:?}: epoch {epoch_s:?} is not an integer"))?;
+        Ok(FaultSpec { kind, epoch })
+    }
+
+    /// Parse a comma-separated list of specs (the `RGAE_FAULT` format).
+    pub fn parse_list(s: &str) -> Result<Vec<FaultSpec>, String> {
+        s.split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .map(FaultSpec::parse)
+            .collect()
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@epoch:{}", self.kind.as_str(), self.epoch)
+    }
+}
+
+/// A schedule of faults, each firing at most once for the whole run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    fired: Vec<bool>,
+}
+
+impl FaultPlan {
+    /// A plan over the given specs, none fired yet.
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        let fired = vec![false; specs.len()];
+        FaultPlan { specs, fired }
+    }
+
+    /// Whether any fault is scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Faults due at `epoch` that have not fired yet; marks them fired.
+    ///
+    /// The fired flags survive rollback re-entry by construction — the plan
+    /// lives outside the trainer's retry loop — so a recovered attempt that
+    /// re-runs the same epoch is not re-poisoned.
+    pub fn take_due(&mut self, epoch: usize) -> Vec<FaultKind> {
+        let mut due = Vec::new();
+        for (i, spec) in self.specs.iter().enumerate() {
+            if spec.epoch == epoch && !self.fired[i] {
+                self.fired[i] = true;
+                due.push(spec.kind);
+            }
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind_and_round_trips_display() {
+        for s in [
+            "nan_grad@epoch:12",
+            "inf_loss@epoch:0",
+            "nan_loss@epoch:7",
+            "corrupt_ckpt@epoch:3",
+        ] {
+            let spec = FaultSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        assert_eq!(
+            FaultSpec::parse(" nan_grad @ epoch:12 ").unwrap(),
+            FaultSpec {
+                kind: FaultKind::NanGrad,
+                epoch: 12
+            }
+        );
+    }
+
+    #[test]
+    fn parse_list_splits_commas_and_skips_blanks() {
+        let specs = FaultSpec::parse_list("nan_grad@epoch:2, corrupt_ckpt@epoch:2,").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].kind, FaultKind::NanGrad);
+        assert_eq!(specs[1].kind, FaultKind::CorruptCkpt);
+        assert!(FaultSpec::parse_list("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in [
+            "nan_grad",
+            "nan_grad@12",
+            "warp_core@epoch:1",
+            "nan_grad@epoch:x",
+        ] {
+            let err = FaultSpec::parse(bad).unwrap_err();
+            assert!(
+                err.contains(&format!("{bad:?}")),
+                "error should cite the spec: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_fire_once_even_when_the_epoch_reruns() {
+        let mut plan =
+            FaultPlan::new(FaultSpec::parse_list("nan_grad@epoch:3,nan_loss@epoch:3").unwrap());
+        assert!(plan.take_due(2).is_empty());
+        let first = plan.take_due(3);
+        assert_eq!(first, vec![FaultKind::NanGrad, FaultKind::NanLoss]);
+        // Rollback re-enters epoch 3: nothing fires again.
+        assert!(plan.take_due(3).is_empty());
+    }
+}

@@ -171,6 +171,17 @@ pub trait GaeModel {
     /// freshly constructed model of the same architecture. Rejects state
     /// saved by a different model or shape with [`Error::Invalid`].
     fn import_params(&mut self, state: &ModelState) -> Result<()>;
+
+    /// Scale every internal optimiser's learning rate by `factor`. The guard
+    /// recovery policy uses this for its backoff after a rollback; scales
+    /// compound across retries. Adversarial models scale the discriminator's
+    /// optimiser too, keeping the GAN balance.
+    fn scale_lr(&mut self, factor: f64);
+
+    /// Total optimiser updates skipped because a non-finite gradient reached
+    /// `Adam::update`, summed over every internal optimiser. Monotone per
+    /// model instance; not persisted across checkpoints.
+    fn nonfinite_grad_steps(&self) -> u64;
 }
 
 impl Clone for Box<dyn GaeModel> {

@@ -214,6 +214,15 @@ impl GaeModel for Gae {
         import_mats(state, "enc", self.enc.params_mut())?;
         import_adam(state, "opt", &mut self.opt)
     }
+
+    fn scale_lr(&mut self, factor: f64) {
+        let lr = self.opt.lr();
+        self.opt.set_lr(lr * factor);
+    }
+
+    fn nonfinite_grad_steps(&self) -> u64 {
+        self.opt.nonfinite_grad_steps()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -332,6 +341,15 @@ impl GaeModel for Vgae {
         check_state_name(state, self.name())?;
         import_mats(state, "enc", self.enc.params_mut())?;
         import_adam(state, "opt", &mut self.opt)
+    }
+
+    fn scale_lr(&mut self, factor: f64) {
+        let lr = self.opt.lr();
+        self.opt.set_lr(lr * factor);
+    }
+
+    fn nonfinite_grad_steps(&self) -> u64 {
+        self.opt.nonfinite_grad_steps()
     }
 }
 
@@ -500,6 +518,17 @@ impl GaeModel for Argae {
             .ok_or(Error::Invalid("model state is missing adv_weight"))?;
         Ok(())
     }
+
+    fn scale_lr(&mut self, factor: f64) {
+        let enc_lr = self.opt_enc.lr();
+        self.opt_enc.set_lr(enc_lr * factor);
+        let disc_lr = self.opt_disc.lr();
+        self.opt_disc.set_lr(disc_lr * factor);
+    }
+
+    fn nonfinite_grad_steps(&self) -> u64 {
+        self.opt_enc.nonfinite_grad_steps() + self.opt_disc.nonfinite_grad_steps()
+    }
 }
 
 /// Adversarially Regularised *Variational* GAE.
@@ -632,6 +661,17 @@ impl GaeModel for Arvgae {
             .num("adv_weight")
             .ok_or(Error::Invalid("model state is missing adv_weight"))?;
         Ok(())
+    }
+
+    fn scale_lr(&mut self, factor: f64) {
+        let enc_lr = self.opt_enc.lr();
+        self.opt_enc.set_lr(enc_lr * factor);
+        let disc_lr = self.opt_disc.lr();
+        self.opt_disc.set_lr(disc_lr * factor);
+    }
+
+    fn nonfinite_grad_steps(&self) -> u64 {
+        self.opt_enc.nonfinite_grad_steps() + self.opt_disc.nonfinite_grad_steps()
     }
 }
 
@@ -816,6 +856,15 @@ impl GaeModel for Dgae {
             .flag("centroids_ready")
             .ok_or(Error::Invalid("model state is missing centroids_ready"))?;
         import_adam(state, "opt", &mut self.opt)
+    }
+
+    fn scale_lr(&mut self, factor: f64) {
+        let lr = self.opt.lr();
+        self.opt.set_lr(lr * factor);
+    }
+
+    fn nonfinite_grad_steps(&self) -> u64 {
+        self.opt.nonfinite_grad_steps()
     }
 }
 
@@ -1086,5 +1135,14 @@ impl GaeModel for GmmVgae {
             .num("cluster_weight")
             .ok_or(Error::Invalid("model state is missing cluster_weight"))?;
         import_adam(state, "opt", &mut self.opt)
+    }
+
+    fn scale_lr(&mut self, factor: f64) {
+        let lr = self.opt.lr();
+        self.opt.set_lr(lr * factor);
+    }
+
+    fn nonfinite_grad_steps(&self) -> u64 {
+        self.opt.nonfinite_grad_steps()
     }
 }

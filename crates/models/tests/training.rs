@@ -392,3 +392,65 @@ fn import_rejects_wrong_model_state() {
     let mut narrow = Gae::new(40, &mut rng);
     assert!(narrow.import_params(&gae.export_params()).is_err());
 }
+
+#[test]
+fn scale_lr_and_grad_skip_counter_cover_every_model() {
+    let g = small_graph(21);
+    let data = TrainData::from_graph(&g);
+    type ModelBuilder = Box<dyn Fn(&mut Rng64) -> Box<dyn GaeModel>>;
+    let builders: Vec<ModelBuilder> = vec![
+        Box::new(|r: &mut Rng64| Box::new(Gae::new(80, r)) as Box<dyn GaeModel>),
+        Box::new(|r: &mut Rng64| Box::new(Vgae::new(80, r))),
+        Box::new(|r: &mut Rng64| Box::new(Argae::new(80, r))),
+        Box::new(|r: &mut Rng64| Box::new(Arvgae::new(80, r))),
+        Box::new(|r: &mut Rng64| Box::new(Dgae::new(80, 3, r))),
+        Box::new(|r: &mut Rng64| Box::new(GmmVgae::new(80, 3, r))),
+    ];
+    let spec = StepSpec::pretrain(Rc::clone(&data.adjacency));
+    for build in &builders {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut scaled = build(&mut rng);
+        let mut rng2 = Rng64::seed_from_u64(5);
+        let mut plain = build(&mut rng2);
+        let name = plain.name();
+
+        // A poisoned step moves nothing and is counted; the twin model
+        // trained normally diverges from the frozen one afterwards.
+        assert_eq!(scaled.nonfinite_grad_steps(), 0, "{name}");
+        rgae_autodiff::arm_grad_poison();
+        scaled.train_step(&data, &spec, &mut rng).unwrap();
+        rgae_autodiff::disarm_grad_poison();
+        assert!(scaled.nonfinite_grad_steps() > 0, "{name} must count skips");
+        let z_frozen = scaled.embed(&data);
+        let z_init = plain.embed(&data);
+        for (a, b) in z_frozen.as_slice().iter().zip(z_init.as_slice()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name} poisoned step moved params"
+            );
+        }
+
+        // scale_lr(0) freezes training entirely; a positive scale trains.
+        scaled.scale_lr(0.0);
+        for _ in 0..2 {
+            scaled.train_step(&data, &spec, &mut rng).unwrap();
+        }
+        let z_still = scaled.embed(&data);
+        for (a, b) in z_still.as_slice().iter().zip(z_frozen.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name} lr=0 still moved params");
+        }
+        for _ in 0..2 {
+            plain.train_step(&data, &spec, &mut rng2).unwrap();
+        }
+        let z_trained = plain.embed(&data);
+        assert!(
+            z_trained
+                .as_slice()
+                .iter()
+                .zip(z_still.as_slice())
+                .any(|(a, b)| a.to_bits() != b.to_bits()),
+            "{name} unscaled twin should have trained"
+        );
+    }
+}

@@ -80,6 +80,9 @@ pub struct RunSummary {
     pub final_nmi: f64,
     /// Final ARI.
     pub final_ari: f64,
+    /// `true` when the recovery policy exhausted its retries and the run
+    /// finished on last-good parameters instead of training to completion.
+    pub degraded: bool,
 }
 
 /// Aggregated time spent under one span path.
@@ -141,6 +144,43 @@ pub enum Event {
         /// Next epoch the checkpoint would resume at, when known.
         epoch: Option<usize>,
     },
+    /// A numerical-health guard observation: a tripped or warning-level
+    /// finding from the `rgae-guard` HealthMonitor, or a deterministic fault
+    /// injection firing.
+    Guard {
+        /// Finding kind (`nonfinite_loss`, `loss_spike`, `nonfinite_grad`,
+        /// `nonfinite_param`, `cluster_collapse`, `degenerate_omega`,
+        /// `empty_omega`, `fault_injected`).
+        kind: String,
+        /// Severity (`trip`, `warn`, or `info`).
+        severity: String,
+        /// Training phase the finding belongs to.
+        phase: String,
+        /// Epoch within the phase, when applicable.
+        epoch: Option<usize>,
+        /// Observed value behind the finding, when numeric.
+        value: Option<f64>,
+        /// Threshold the value was compared against, when applicable.
+        threshold: Option<f64>,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// A recovery action taken by the trainer's RecoveryPolicy after a
+    /// tripped guard.
+    Recovery {
+        /// What happened (`rollback`, `retry`, or `degraded`).
+        action: String,
+        /// Training phase the recovery applies to.
+        phase: String,
+        /// Epoch the guard tripped at, when applicable.
+        epoch: Option<usize>,
+        /// Retry attempt number (1-based; 0 for terminal `degraded`).
+        attempt: usize,
+        /// Cumulative learning-rate scale applied for the next attempt.
+        lr_scale: f64,
+        /// Human-readable context (e.g. the checkpoint rolled back to).
+        detail: String,
+    },
     /// Per-run aggregated timing table (emitted before `RunEnd`).
     TimingSummary(Vec<TimingEntry>),
     /// Run end: final metrics and wall-clock time.
@@ -183,6 +223,8 @@ impl Event {
             Event::Gauge { .. } => "gauge",
             Event::Convergence { .. } => "convergence",
             Event::Checkpoint { .. } => "checkpoint",
+            Event::Guard { .. } => "guard",
+            Event::Recovery { .. } => "recovery",
             Event::TimingSummary(_) => "timing_summary",
             Event::RunEnd(_) => "run_end",
         }
@@ -256,6 +298,38 @@ impl Event {
                 fields.push(("phase".into(), Json::Str(phase.clone())));
                 fields.push(("epoch".into(), opt_int(*epoch)));
             }
+            Event::Guard {
+                kind,
+                severity,
+                phase,
+                epoch,
+                value,
+                threshold,
+                detail,
+            } => {
+                fields.push(("kind".into(), Json::Str(kind.clone())));
+                fields.push(("severity".into(), Json::Str(severity.clone())));
+                fields.push(("phase".into(), Json::Str(phase.clone())));
+                fields.push(("epoch".into(), opt_int(*epoch)));
+                fields.push(("value".into(), opt_num(*value)));
+                fields.push(("threshold".into(), opt_num(*threshold)));
+                fields.push(("detail".into(), Json::Str(detail.clone())));
+            }
+            Event::Recovery {
+                action,
+                phase,
+                epoch,
+                attempt,
+                lr_scale,
+                detail,
+            } => {
+                fields.push(("action".into(), Json::Str(action.clone())));
+                fields.push(("phase".into(), Json::Str(phase.clone())));
+                fields.push(("epoch".into(), opt_int(*epoch)));
+                fields.push(("attempt".into(), Json::Int(*attempt as i64)));
+                fields.push(("lr_scale".into(), Json::Num(*lr_scale)));
+                fields.push(("detail".into(), Json::Str(detail.clone())));
+            }
             Event::TimingSummary(entries) => {
                 let arr = entries
                     .iter()
@@ -276,6 +350,7 @@ impl Event {
                 fields.push(("final_acc".into(), Json::Num(s.final_acc)));
                 fields.push(("final_nmi".into(), Json::Num(s.final_nmi)));
                 fields.push(("final_ari".into(), Json::Num(s.final_ari)));
+                fields.push(("degraded".into(), Json::Bool(s.degraded)));
             }
         }
         Json::Obj(fields)
@@ -343,6 +418,23 @@ impl Event {
                 phase: get_str(v, "phase")?,
                 epoch: get_usize(v, "epoch"),
             }),
+            "guard" => Some(Event::Guard {
+                kind: get_str(v, "kind")?,
+                severity: get_str(v, "severity")?,
+                phase: get_str(v, "phase")?,
+                epoch: get_usize(v, "epoch"),
+                value: get_opt_f64(v, "value"),
+                threshold: get_opt_f64(v, "threshold"),
+                detail: get_str(v, "detail")?,
+            }),
+            "recovery" => Some(Event::Recovery {
+                action: get_str(v, "action")?,
+                phase: get_str(v, "phase")?,
+                epoch: get_usize(v, "epoch"),
+                attempt: get_usize(v, "attempt")?,
+                lr_scale: get_f64(v, "lr_scale")?,
+                detail: get_str(v, "detail")?,
+            }),
             "timing_summary" => {
                 let entries = v
                     .get("spans")?
@@ -365,6 +457,8 @@ impl Event {
                 final_acc: get_f64(v, "final_acc")?,
                 final_nmi: get_f64(v, "final_nmi")?,
                 final_ari: get_f64(v, "final_ari")?,
+                // Absent in pre-guard logs: default to a non-degraded run.
+                degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
             })),
             _ => None,
         }
@@ -460,6 +554,40 @@ mod tests {
                 value: 87.5,
             },
             Event::Convergence { epoch: 31 },
+            Event::Guard {
+                kind: "nonfinite_loss".into(),
+                severity: "trip".into(),
+                phase: "clustering".into(),
+                epoch: Some(12),
+                value: None,
+                threshold: None,
+                detail: "loss is NaN".into(),
+            },
+            Event::Guard {
+                kind: "loss_spike".into(),
+                severity: "trip".into(),
+                phase: "pretrain".into(),
+                epoch: None,
+                value: Some(412.5),
+                threshold: Some(31.25),
+                detail: "loss exceeded 25x trailing median".into(),
+            },
+            Event::Recovery {
+                action: "retry".into(),
+                phase: "clustering".into(),
+                epoch: Some(12),
+                attempt: 1,
+                lr_scale: 0.5,
+                detail: "resuming from epoch 10".into(),
+            },
+            Event::Recovery {
+                action: "degraded".into(),
+                phase: "clustering".into(),
+                epoch: None,
+                attempt: 0,
+                lr_scale: 0.25,
+                detail: "retries exhausted; finishing on last-good params".into(),
+            },
             Event::TimingSummary(vec![
                 TimingEntry {
                     path: "clustering/step".into(),
@@ -479,6 +607,16 @@ mod tests {
                 final_acc: 0.71,
                 final_nmi: 0.55,
                 final_ari: 0.49,
+                degraded: false,
+            }),
+            Event::RunEnd(RunSummary {
+                train_seconds: 2.5,
+                converged_at: None,
+                epochs_run: 20,
+                final_acc: 0.42,
+                final_nmi: 0.31,
+                final_ari: 0.22,
+                degraded: true,
             }),
         ]
     }
@@ -502,10 +640,21 @@ mod tests {
             final_acc: 0.5,
             final_nmi: 0.5,
             final_ari: 0.5,
+            degraded: false,
         });
         let line = ev.to_jsonl();
         assert!(line.contains("\"converged_at\":null"));
         assert_eq!(Event::from_jsonl(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn run_end_without_degraded_field_defaults_to_false() {
+        // Logs written before the guard layer existed have no `degraded` key.
+        let line = r#"{"type":"run_end","train_seconds":1.0,"converged_at":null,"epochs_run":5,"final_acc":0.5,"final_nmi":0.4,"final_ari":0.3}"#;
+        match Event::from_jsonl(line).unwrap() {
+            Event::RunEnd(s) => assert!(!s.degraded),
+            other => panic!("unexpected event: {other:?}"),
+        }
     }
 
     #[test]

@@ -249,6 +249,7 @@ mod tests {
             final_acc: 0.5,
             final_nmi: 0.5,
             final_ari: 0.5,
+            degraded: false,
         }
     }
 

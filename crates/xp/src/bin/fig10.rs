@@ -7,7 +7,7 @@ use rgae_core::{train_plain_traced, RTrainer};
 use rgae_linalg::{Mat, Rng64};
 use rgae_models::TrainData;
 use rgae_viz::{ascii_scatter, tsne, CsvWriter, TsneConfig};
-use rgae_xp::{bin_name, emit_run_start, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{bin_name, emit_run_start, rconfig_for_opts, DatasetKind, HarnessOpts, ModelKind};
 
 /// Mean silhouette-like separation: (inter-centroid spread) / (mean
 /// intra-cluster distance). Higher = better separated.
@@ -55,7 +55,7 @@ fn main() {
     } else {
         vec![0, 40, 80, 120]
     };
-    let mut cfg = rconfig_for(ModelKind::GmmVgae, dataset, opts.quick);
+    let mut cfg = rconfig_for_opts(ModelKind::GmmVgae, dataset, &opts);
     cfg.snapshot_epochs = snaps.clone();
     cfg.max_epochs = cfg.max_epochs.max(snaps.last().unwrap() + 1);
     cfg.min_epochs = cfg.max_epochs;

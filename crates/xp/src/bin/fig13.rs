@@ -8,7 +8,7 @@ use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_viz::CsvWriter;
 use rgae_xp::{
-    bin_name, emit_run_start, pct, print_table, rconfig_for, stats, DatasetKind, HarnessOpts,
+    bin_name, emit_run_start, pct, print_table, rconfig_for_opts, stats, DatasetKind, HarnessOpts,
     ModelKind,
 };
 
@@ -25,7 +25,7 @@ fn main() {
         vec![0.0001, 0.001, 0.01, 0.1, 1.0]
     };
 
-    let base_cfg = rconfig_for(ModelKind::GmmVgae, dataset, opts.quick);
+    let base_cfg = rconfig_for_opts(ModelKind::GmmVgae, dataset, &opts);
     let mut rng = Rng64::seed_from_u64(opts.seed);
     let trainer = RTrainer::with_recorder(base_cfg.clone(), rec);
     let mut pretrained =

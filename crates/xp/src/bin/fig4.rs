@@ -8,7 +8,7 @@ use rgae_graph::GraphStats;
 use rgae_linalg::Rng64;
 use rgae_viz::CsvWriter;
 use rgae_xp::{
-    bin_name, emit_run_start, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind,
+    bin_name, emit_run_start, print_table, rconfig_for_opts, DatasetKind, HarnessOpts, ModelKind,
 };
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
-    let mut cfg = rconfig_for(ModelKind::GmmVgae, dataset, opts.quick);
+    let mut cfg = rconfig_for_opts(ModelKind::GmmVgae, dataset, &opts);
     let snaps: Vec<usize> = if opts.quick {
         vec![0, 20, 40]
     } else {

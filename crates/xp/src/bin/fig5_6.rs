@@ -14,7 +14,7 @@ use rgae_core::{train_plain_traced, EpochRecord, RTrainer};
 use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_viz::{ascii_lines, CsvWriter};
-use rgae_xp::{bin_name, emit_run_start, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{bin_name, emit_run_start, rconfig_for_opts, DatasetKind, HarnessOpts, ModelKind};
 
 fn series(records: &[EpochRecord], pick: impl Fn(&EpochRecord) -> Option<f64>) -> Vec<f64> {
     records
@@ -48,7 +48,7 @@ fn main() {
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let data = TrainData::from_graph(&graph);
-    let mut cfg = rconfig_for(ModelKind::GmmVgae, dataset, opts.quick);
+    let mut cfg = rconfig_for_opts(ModelKind::GmmVgae, dataset, &opts);
     cfg.track_diagnostics = true;
     cfg.eval_every = 1;
     cfg.min_epochs = cfg.max_epochs; // full trace, no early stop

@@ -4,14 +4,17 @@
 //! *and* the corrupted dataset in every comparison.
 
 use rgae_core::{train_plain_traced, Metrics, RTrainer};
-use rgae_datasets::{add_feature_noise, add_random_edges, drop_feature_columns, drop_random_edges};
+use rgae_datasets::{
+    add_feature_noise, add_random_edges_traced, drop_feature_columns, drop_random_edges,
+};
 use rgae_graph::AttributedGraph;
 use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_obs::Recorder;
 use rgae_viz::CsvWriter;
 use rgae_xp::{
-    bin_name, emit_run_start, pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind,
+    bin_name, emit_run_start, pct, print_table, rconfig_for_opts, DatasetKind, HarnessOpts,
+    ModelKind,
 };
 
 fn run_both(
@@ -65,7 +68,7 @@ fn main() {
     let rec = trace.as_ref();
     let dataset = DatasetKind::CoraLike;
     let clean = dataset.build(opts.dataset_scale(), opts.seed);
-    let cfg = rconfig_for(ModelKind::Dgae, dataset, opts.quick);
+    let cfg = rconfig_for_opts(ModelKind::Dgae, dataset, &opts);
     let e = clean.num_edges();
 
     let added_edges: Vec<usize> = if opts.quick {
@@ -134,7 +137,14 @@ fn main() {
     run_sweep(
         "add_edges",
         &added_edges.iter().map(|&x| x as f64).collect::<Vec<_>>(),
-        &|lvl, rng| add_random_edges(&clean, lvl as usize, rng).unwrap(),
+        &|lvl, rng| {
+            let requested = lvl as usize;
+            let (g, added) = add_random_edges_traced(&clean, requested, rng, rec).unwrap();
+            if added < requested {
+                eprintln!("  warning: add_edges delivered {added}/{requested} edges");
+            }
+            g
+        },
         &mut rows,
     );
     run_sweep(

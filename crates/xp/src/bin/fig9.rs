@@ -6,7 +6,7 @@
 use rgae_core::RTrainer;
 use rgae_linalg::Rng64;
 use rgae_viz::{ascii_lines, CsvWriter};
-use rgae_xp::{bin_name, emit_run_start, rconfig_for, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{bin_name, emit_run_start, rconfig_for_opts, DatasetKind, HarnessOpts, ModelKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -15,7 +15,7 @@ fn main() {
     let dataset = DatasetKind::CoraLike;
     let graph = dataset.build(opts.dataset_scale(), opts.seed);
     let data = rgae_models::TrainData::from_graph(&graph);
-    let mut cfg = rconfig_for(ModelKind::GmmVgae, dataset, opts.quick);
+    let mut cfg = rconfig_for_opts(ModelKind::GmmVgae, dataset, &opts);
     cfg.eval_every = 1;
     cfg.min_epochs = cfg.max_epochs; // full trace
 

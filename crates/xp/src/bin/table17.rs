@@ -10,7 +10,7 @@ use rgae_models::baselines::{agc_lite, daegc_lite_data, mgae_lite, spectral_lite
 use rgae_models::{Dgae, GaeModel, StepSpec, TrainData};
 use rgae_viz::CsvWriter;
 use rgae_xp::{
-    best_metrics, pct, print_table, rconfig_for, run_pair, DatasetKind, HarnessOpts, ModelKind,
+    best_metrics, pct, print_table, rconfig_for_opts, run_pair, DatasetKind, HarnessOpts, ModelKind,
 };
 
 fn metrics_of(pred: &[usize], truth: &[usize]) -> Metrics {
@@ -112,7 +112,7 @@ fn main() {
         // GAE-family models (plain + R for the second group), best of
         // trials, reusing the Tables-1/2 protocol.
         for model in ModelKind::all() {
-            let cfg = rconfig_for(model, dataset, opts.quick);
+            let cfg = rconfig_for_opts(model, dataset, &opts);
             let mut plain_ms = Vec::new();
             let mut r_ms = Vec::new();
             for trial in 0..opts.trials {

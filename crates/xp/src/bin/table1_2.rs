@@ -8,7 +8,7 @@
 use rgae_core::Metrics;
 use rgae_viz::CsvWriter;
 use rgae_xp::{
-    best_metrics, metric_stats, pct, pct_pm, print_table, rconfig_for, run_pair, DatasetKind,
+    best_metrics, metric_stats, pct, pct_pm, print_table, rconfig_for_opts, run_pair, DatasetKind,
     HarnessOpts, ModelKind,
 };
 
@@ -38,7 +38,7 @@ fn main() {
             graph.num_classes()
         );
         for model in ModelKind::all() {
-            let cfg = rconfig_for(model, dataset, opts.quick);
+            let cfg = rconfig_for_opts(model, dataset, &opts);
             let mut plain_ms: Vec<Metrics> = Vec::new();
             let mut r_ms: Vec<Metrics> = Vec::new();
             for trial in 0..opts.trials {

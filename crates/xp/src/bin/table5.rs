@@ -4,7 +4,9 @@
 //! overhead (their cost is near-linear; training is quadratic in N).
 
 use rgae_viz::CsvWriter;
-use rgae_xp::{print_table, rconfig_for, run_pair, stats, DatasetKind, HarnessOpts, ModelKind};
+use rgae_xp::{
+    print_table, rconfig_for_opts, run_pair, stats, DatasetKind, HarnessOpts, ModelKind,
+};
 
 fn main() {
     let mut opts = HarnessOpts::from_args();
@@ -27,7 +29,7 @@ fn main() {
         }
         let graph = dataset.build(opts.dataset_scale(), opts.seed);
         for model in ModelKind::second_group() {
-            let cfg = rconfig_for(model, dataset, opts.quick);
+            let cfg = rconfig_for_opts(model, dataset, &opts);
             let mut plain_t = Vec::new();
             let mut r_t = Vec::new();
             let mut plain_pe = Vec::new();

@@ -9,7 +9,8 @@ use rgae_linalg::Rng64;
 use rgae_models::TrainData;
 use rgae_viz::CsvWriter;
 use rgae_xp::{
-    bin_name, emit_run_start, pct, print_table, rconfig_for, DatasetKind, HarnessOpts, ModelKind,
+    bin_name, emit_run_start, pct, print_table, rconfig_for_opts, DatasetKind, HarnessOpts,
+    ModelKind,
 };
 
 fn main() {
@@ -28,7 +29,7 @@ fn main() {
     .expect("csv");
 
     for model in ModelKind::second_group() {
-        let base_cfg = rconfig_for(model, dataset, opts.quick);
+        let base_cfg = rconfig_for_opts(model, dataset, &opts);
         let mut rng = Rng64::seed_from_u64(opts.seed);
         let trainer = RTrainer::with_recorder(base_cfg.clone(), rec);
         let mut pretrained = model.build(data.num_features(), graph.num_classes(), &mut rng);

@@ -6,7 +6,8 @@ use std::path::PathBuf;
 use std::rc::Rc;
 
 use rgae_core::{
-    train_plain_ckpt, CheckpointOpts, Metrics, PlainReport, RConfig, RReport, RTrainer, XiConfig,
+    train_plain_ckpt, CheckpointOpts, GuardConfig, Metrics, PlainReport, RConfig, RReport,
+    RTrainer, XiConfig,
 };
 use rgae_graph::AttributedGraph;
 use rgae_linalg::Rng64;
@@ -37,6 +38,12 @@ pub struct HarnessOpts {
     pub checkpoint_every: usize,
     /// Resume runs from their newest readable checkpoint (`--resume`).
     pub resume: bool,
+    /// Enable the numerical-health guard layer (`--guard`). Also switched
+    /// on automatically when `RGAE_FAULT` schedules fault injections.
+    pub guard: bool,
+    /// Guard recovery budget: rollback+retry attempts per training phase
+    /// (`--max-retries N`).
+    pub max_retries: usize,
 }
 
 impl Default for HarnessOpts {
@@ -52,6 +59,8 @@ impl Default for HarnessOpts {
             checkpoint_dir: None,
             checkpoint_every: 25,
             resume: false,
+            guard: false,
+            max_retries: 2,
         }
     }
 }
@@ -59,7 +68,9 @@ impl Default for HarnessOpts {
 impl HarnessOpts {
     /// Parse `--quick`, `--scale S`, `--seed N`, `--trials N`, `--out DIR`,
     /// `--dataset NAME`, `--trace-out PATH`, `--checkpoint-dir DIR`,
-    /// `--checkpoint-every N`, `--resume` from the process arguments.
+    /// `--checkpoint-every N`, `--resume`, `--guard`, `--max-retries N`
+    /// from the process arguments. A non-empty `RGAE_FAULT` environment
+    /// variable implies `--guard` (injected faults need the recovery layer).
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -114,17 +125,39 @@ impl HarnessOpts {
                         .expect("--checkpoint-every takes an integer");
                 }
                 "--resume" => opts.resume = true,
+                "--guard" => opts.guard = true,
+                "--max-retries" => {
+                    i += 1;
+                    opts.max_retries = value(&args, i, "--max-retries")
+                        .parse()
+                        .expect("--max-retries takes an integer");
+                }
                 other => panic!(
-                    "unknown option `{other}` (known: --quick --full --scale --seed --trials --out --dataset --trace-out --checkpoint-dir --checkpoint-every --resume)"
+                    "unknown option `{other}` (known: --quick --full --scale --seed --trials --out --dataset --trace-out --checkpoint-dir --checkpoint-every --resume --guard --max-retries)"
                 ),
             }
             i += 1;
+        }
+        if std::env::var("RGAE_FAULT").is_ok_and(|v| !v.trim().is_empty()) {
+            opts.guard = true;
         }
         if opts.quick {
             opts.scale = opts.scale.min(0.2);
             opts.trials = opts.trials.min(2);
         }
         opts
+    }
+
+    /// The guard configuration selected by `--guard` / `--max-retries`,
+    /// with the `RGAE_FAULT` injection schedule folded in. `None` when the
+    /// guard layer is off.
+    pub fn guard_config(&self) -> Option<GuardConfig> {
+        if !self.guard {
+            return None;
+        }
+        let mut g = GuardConfig::from_env();
+        g.max_retries = self.max_retries;
+        Some(g)
     }
 
     /// Effective dataset scale.
@@ -423,6 +456,14 @@ pub fn rconfig_for(model: ModelKind, dataset: DatasetKind, quick: bool) -> RConf
         cfg.max_epochs = 150;
     }
     cfg.eval_every = 5;
+    cfg
+}
+
+/// [`rconfig_for`] plus the harness-level overrides carried by
+/// [`HarnessOpts`] — currently the numerical-health guard layer.
+pub fn rconfig_for_opts(model: ModelKind, dataset: DatasetKind, opts: &HarnessOpts) -> RConfig {
+    let mut cfg = rconfig_for(model, dataset, opts.quick);
+    cfg.guard = opts.guard_config();
     cfg
 }
 

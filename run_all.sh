@@ -13,10 +13,18 @@ export GLIBC_TUNABLES=glibc.malloc.trim_threshold=67108864:glibc.malloc.mmap_thr
 # reproduces the uninterrupted run bit for bit (see
 # crates/core/tests/checkpoint_resume.rs), so retried results are identical
 # to first-try results.
+#
+# Every run also enables the rgae-guard health monitor (--guard): non-finite
+# losses/grads/params and divergence trip a rollback to the last healthy
+# checkpoint with a halved learning rate instead of wasting the whole run.
+# On a fault-free run --guard is bit-identical to guards-off (see
+# crates/core/tests/guard_recovery.rs), so it is always safe to keep on.
+# RGAE_GUARD_RETRIES overrides the per-phase retry budget (default 2).
 run_xp() {
   local secs=$1 log=$2 bin=$3
   shift 3
-  local ckpt=(--checkpoint-dir results/ckpt --checkpoint-every 25)
+  local ckpt=(--checkpoint-dir results/ckpt --checkpoint-every 25
+              --guard --max-retries "${RGAE_GUARD_RETRIES:-2}")
   if ! timeout "$secs" cargo run --release -p rgae-xp --bin "$bin" -- \
       "${ckpt[@]}" "$@" > "results/logs/$log.log" 2>&1; then
     echo "== $bin failed; retrying once from checkpoint =="
